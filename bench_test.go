@@ -1,0 +1,146 @@
+package metadataflow
+
+// This file holds one benchmark per table and figure of the paper's
+// evaluation (§6). Each benchmark regenerates the figure's data series on
+// the simulated cluster and logs the reproduced table. Run with
+//
+//	go test -bench=. -benchmem            # full-scale sweeps (3 seeds)
+//	go test -bench=. -benchmem -short     # reduced sweeps for a fast pass
+//
+// The reported ns/op is the wall time of regenerating the whole figure;
+// the numbers inside the logged tables are virtual cluster seconds.
+
+import (
+	"testing"
+
+	"metadataflow/internal/cluster"
+	"metadataflow/internal/dataset"
+	"metadataflow/internal/engine"
+	"metadataflow/internal/experiments"
+	"metadataflow/internal/graph"
+	"metadataflow/internal/mdf"
+	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/scheduler"
+	"metadataflow/internal/workload/synthetic"
+)
+
+func benchmarkExperiment(b *testing.B, id string) {
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.DefaultOptions()
+	if testing.Short() {
+		opts = experiments.Options{Seeds: 1, Quick: true}
+	}
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab, err = exp.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + tab.Format())
+}
+
+func BenchmarkTable1(b *testing.B) { benchmarkExperiment(b, "table1") }
+func BenchmarkFig5(b *testing.B)   { benchmarkExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchmarkExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchmarkExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchmarkExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchmarkExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchmarkExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchmarkExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchmarkExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { benchmarkExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { benchmarkExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { benchmarkExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)  { benchmarkExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B)  { benchmarkExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B)  { benchmarkExperiment(b, "fig18") }
+
+// BenchmarkAblation isolates BAS, AMM and incremental evaluation (the
+// design-choice ablations DESIGN.md calls out).
+func BenchmarkAblation(b *testing.B) { benchmarkExperiment(b, "ablation") }
+
+// BenchmarkStragglers measures the impact of one straggling worker (§5).
+func BenchmarkStragglers(b *testing.B) { benchmarkExperiment(b, "stragglers") }
+
+// BenchmarkRecovery measures checkpoint-based failure recovery (§5).
+func BenchmarkRecovery(b *testing.B) { benchmarkExperiment(b, "recovery") }
+
+// BenchmarkChooseThroughput measures master-side selection throughput,
+// the §5 claim that a low-end master sustains ~2M choose invocations per
+// second when collecting results.
+func BenchmarkChooseThroughput(b *testing.B) {
+	chooser := mdf.NewChooser(mdf.SizeEvaluator(), mdf.TopK(4))
+	session := chooser.NewSession(b.N + 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		session.Offer(i, float64(i%97))
+	}
+}
+
+// BenchmarkStagePlanning measures plan derivation for a 120-branch MDF.
+func BenchmarkStagePlanning(b *testing.B) {
+	p := synthetic.Defaults()
+	p.Rows = 64
+	p.OuterBranches, p.InnerBranches = 10, 12
+	g, err := synthetic.BuildMDF(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.BuildPlan(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRun measures one full MDF execution (25 branches) on the
+// simulated cluster, the end-to-end fixed overhead of the execution layer.
+func BenchmarkEngineRun(b *testing.B) {
+	p := synthetic.Defaults()
+	p.Rows = 400
+	p.OuterBranches, p.InnerBranches = 5, 5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := synthetic.BuildMDF(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl := cluster.MustNew(cluster.DefaultConfig())
+		_, err = engine.Execute(g, engine.Options{
+			Cluster:     cl,
+			Policy:      memorymgr.AMM,
+			Scheduler:   scheduler.BAS(nil),
+			Incremental: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAMMEviction measures a single eviction decision over a populated
+// allocator (Alg. 2's argmin scan).
+func BenchmarkAMMEviction(b *testing.B) {
+	cfg := cluster.DefaultConfig()
+	node := &cluster.Node{}
+	counter := fixedAccesses(3)
+	alloc := memorymgr.NewAllocator(node, cfg, 1<<30, memorymgr.AMM, counter)
+	for i := 0; i < 256; i++ {
+		alloc.Put(dataset.PartKey{Dataset: dataset.ID(i), Index: 0}, 1<<22, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Each Put of a 4 MB partition forces one eviction decision.
+		alloc.Put(dataset.PartKey{Dataset: dataset.ID(1000 + i), Index: 0}, 1<<22, float64(i))
+	}
+}
+
+type fixedAccesses int
+
+func (f fixedAccesses) FutureAccesses(dataset.PartKey) int { return int(f) }

@@ -1,0 +1,87 @@
+// Command mdfbench regenerates the tables and figures of the paper's
+// evaluation (§6) on the simulated cluster and prints the data series.
+//
+// Usage:
+//
+//	mdfbench -exp fig7           # one experiment
+//	mdfbench -exp all            # everything (slow)
+//	mdfbench -exp fig9 -quick    # reduced sweep for a fast look
+//	mdfbench -exp fig9 -csv      # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"metadataflow/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (table1, fig5..fig18) or 'all'")
+		quick = flag.Bool("quick", false, "reduced workloads and sweeps")
+		seeds = flag.Int("seeds", 3, "runs per data point (paper uses 3)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		md    = flag.Bool("markdown", false, "emit a markdown table (for EXPERIMENTS.md)")
+		out   = flag.String("out", "", "also write each experiment's CSV into this directory")
+		list  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.Registry() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Description)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := experiments.Options{Seeds: *seeds, Quick: *quick}
+	var selected []experiments.Experiment
+	if *exp == "all" {
+		selected = experiments.Registry()
+	} else {
+		e, err := experiments.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		selected = []experiments.Experiment{e}
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		tab, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *out != "" {
+			path := filepath.Join(*out, e.ID+".csv")
+			if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		switch {
+		case *csv:
+			fmt.Print(tab.CSV())
+		case *md:
+			fmt.Println(tab.Markdown())
+		default:
+			fmt.Print(tab.Format())
+			fmt.Printf("(regenerated in %.1fs wall time)\n\n", time.Since(start).Seconds())
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Command mdfrun executes one of the paper's workload MDFs on the simulated
+// cluster with configurable scheduling and memory-management policies and
+// reports the run metrics, making the ablations of §6 reproducible from the
+// command line.
+//
+// Usage:
+//
+//	mdfrun -job timeseries -scheduler bas -policy amm -incremental
+//	mdfrun -job synthetic -scheduler bfs -policy lru -workers 12 -mem 4
+//	mdfrun -spec examples/specs/outlier.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"metadataflow/internal/baseline"
+	"metadataflow/internal/cluster"
+	"metadataflow/internal/engine"
+	"metadataflow/internal/graph"
+	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/scheduler"
+	"metadataflow/internal/spec"
+	"metadataflow/internal/workload/dnn"
+	"metadataflow/internal/workload/kde"
+	"metadataflow/internal/workload/synthetic"
+	"metadataflow/internal/workload/timeseries"
+)
+
+func main() {
+	var (
+		job         = flag.String("job", "synthetic", "workload: kde, kde-scoped, kde-example, dnn, dnn-early, dnn-iterative, timeseries, synthetic")
+		specPath    = flag.String("spec", "", "path to a JSON MDF spec (overrides -job)")
+		sched       = flag.String("scheduler", "bas", "stage scheduler: bas, bas-sorted, bas-random, bfs")
+		policy      = flag.String("policy", "amm", "eviction policy: amm, lru")
+		incremental = flag.Bool("incremental", true, "incremental choose evaluation")
+		workers     = flag.Int("workers", 8, "worker nodes")
+		memGB       = flag.Int64("mem", 10, "memory per worker in GB")
+		mode        = flag.String("mode", "mdf", "execution mode: mdf, sequential, or parallel:<k>")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		trace       = flag.Bool("trace", false, "print the per-stage execution timeline")
+		traceJSON   = flag.String("trace-json", "", "write the timeline in Chrome Trace Event Format to this file")
+		spills      = flag.Bool("spills", false, "print the top spilled datasets")
+		speculative = flag.Bool("speculative", false, "enable speculative straggler mitigation")
+	)
+	flag.Parse()
+	if err := run(*job, *specPath, *sched, *policy, *incremental, *workers, *memGB, *mode, *seed, *trace, *traceJSON, *spills, *speculative); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(job, specPath, sched, policy string, incremental bool, workers int, memGB int64, mode string, seed int64, trace bool, traceJSON string, spills, speculative bool) error {
+	var g *graph.Graph
+	var err error
+	if specPath != "" {
+		data, rerr := os.ReadFile(specPath)
+		if rerr != nil {
+			return rerr
+		}
+		s, perr := spec.Parse(data)
+		if perr != nil {
+			return perr
+		}
+		g, err = s.Compile()
+	} else {
+		g, err = buildJob(job, seed)
+	}
+	if err != nil {
+		return err
+	}
+	ccfg := cluster.DefaultConfig()
+	ccfg.Workers = workers
+	ccfg.MemPerWorker = memGB << 30
+	cl, err := cluster.New(ccfg)
+	if err != nil {
+		return err
+	}
+	pol := memorymgr.AMM
+	if policy == "lru" {
+		pol = memorymgr.LRU
+	}
+	newSched := func() scheduler.Policy {
+		switch sched {
+		case "bfs":
+			return scheduler.BFS()
+		case "bas-sorted":
+			return scheduler.BAS(scheduler.SortedHint(false))
+		case "bas-random":
+			return scheduler.BAS(scheduler.RandomHint(seed))
+		default:
+			return scheduler.BAS(nil)
+		}
+	}
+
+	switch {
+	case mode == "mdf":
+		plan, err := graph.BuildPlan(g)
+		if err != nil {
+			return err
+		}
+		runr, err := engine.NewRun(plan, engine.Options{
+			Cluster: cl, Policy: pol, Scheduler: newSched(),
+			Incremental: incremental, Trace: trace || traceJSON != "",
+			Speculative: speculative,
+		}, 0)
+		if err != nil {
+			return err
+		}
+		res, err := runr.RunToCompletion()
+		if err != nil {
+			return err
+		}
+		report(res.CompletionTime(), &res.Metrics, 1)
+		if spills {
+			entries := runr.SpillReport(10)
+			if len(entries) == 0 {
+				fmt.Println("\nno datasets were spilled")
+			} else {
+				fmt.Println("\ntop spilled datasets:")
+				for _, e := range entries {
+					fmt.Printf("  %s\n", e)
+				}
+			}
+		}
+		if trace {
+			fmt.Println("\ntimeline (virtual seconds):")
+			if err := engine.WriteText(os.Stdout, res.Timeline); err != nil {
+				return err
+			}
+			fmt.Println(engine.SummarizeTimeline(res.Timeline))
+		}
+		if traceJSON != "" {
+			f, err := os.Create(traceJSON)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := engine.WriteChromeTrace(f, res.Timeline); err != nil {
+				return err
+			}
+			fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing)\n", traceJSON)
+		}
+	case mode == "sequential":
+		jobs, err := baseline.ExpandJobs(g)
+		if err != nil {
+			return err
+		}
+		res, err := baseline.Sequential(jobs, baseline.Config{Cluster: cl, Policy: pol})
+		if err != nil {
+			return err
+		}
+		report(res.CompletionTime, &res.Metrics, len(res.Jobs))
+	default:
+		var k int
+		if _, err := fmt.Sscanf(mode, "parallel:%d", &k); err != nil || k < 1 {
+			return fmt.Errorf("mdfrun: mode must be mdf, sequential, or parallel:<k>")
+		}
+		jobs, err := baseline.ExpandJobs(g)
+		if err != nil {
+			return err
+		}
+		res, err := baseline.Parallel(jobs, k, baseline.Config{Cluster: cl, Policy: pol})
+		if err != nil {
+			return err
+		}
+		report(res.CompletionTime, &res.Metrics, len(res.Jobs))
+	}
+	return nil
+}
+
+func report(completion float64, m *engine.Metrics, jobs int) {
+	fmt.Printf("completion time     %10.2f virtual seconds\n", completion)
+	fmt.Printf("jobs executed       %10d\n", jobs)
+	fmt.Printf("stages executed     %10d\n", m.StagesExecuted)
+	fmt.Printf("stages pruned       %10d\n", m.StagesPruned)
+	fmt.Printf("branches pruned     %10d\n", m.BranchesPruned)
+	fmt.Printf("branches discarded  %10d\n", m.BranchesDiscarded)
+	fmt.Printf("datasets discarded  %10d\n", m.DatasetsDiscarded)
+	fmt.Printf("peak live datasets  %10d\n", m.PeakLiveDatasets)
+	fmt.Printf("choose evaluations  %10d\n", m.ChooseEvals)
+	fmt.Printf("compute time        %10.2f virtual seconds\n", m.ComputeSec)
+	fmt.Printf("memory hit ratio    %10.4f\n", m.Mem.HitRatio())
+	fmt.Printf("bytes from memory   %10d\n", m.Mem.BytesFromMem)
+	fmt.Printf("bytes from disk     %10d\n", m.Mem.BytesFromDisk)
+	fmt.Printf("evictions           %10d\n", m.Mem.Evictions)
+}
+
+func buildJob(job string, seed int64) (*graph.Graph, error) {
+	switch job {
+	case "kde":
+		p := kde.Defaults()
+		p.Seed = seed
+		return kde.BuildMDF(p)
+	case "kde-scoped":
+		p := kde.DefaultScoped()
+		p.Seed = seed
+		return kde.BuildScopedMDF(p)
+	case "kde-example":
+		p := kde.DefaultExample()
+		p.Seed = seed
+		return kde.BuildExampleMDF(p)
+	case "dnn":
+		p := dnn.Defaults()
+		p.Seed = seed
+		return dnn.BuildExhaustiveMDF(p)
+	case "dnn-early":
+		p := dnn.Defaults()
+		p.Seed = seed
+		return dnn.BuildEarlyChooseMDF(p)
+	case "dnn-iterative":
+		p := dnn.DefaultIterative()
+		p.Seed = seed
+		return dnn.BuildIterativeMDF(p)
+	case "timeseries":
+		p := timeseries.Defaults()
+		p.Seed = seed
+		return timeseries.BuildMDF(p)
+	case "synthetic":
+		p := synthetic.Defaults()
+		p.Seed = seed
+		return synthetic.BuildMDF(p)
+	}
+	return nil, fmt.Errorf("mdfrun: unknown job %q", job)
+}

@@ -1,0 +1,105 @@
+// Command mdfviz renders the MDFs of the paper's workloads as Graphviz DOT.
+//
+// Usage:
+//
+//	mdfviz -job kde | dot -Tpng -o kde.png
+//	mdfviz -job synthetic -b1 3 -b2 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"metadataflow/internal/graph"
+	"metadataflow/internal/spec"
+	"metadataflow/internal/workload/dnn"
+	"metadataflow/internal/workload/kde"
+	"metadataflow/internal/workload/synthetic"
+	"metadataflow/internal/workload/timeseries"
+)
+
+func main() {
+	var (
+		job      = flag.String("job", "kde", "workload: kde, kde-scoped, kde-example, dnn, dnn-early, timeseries, synthetic")
+		specPath = flag.String("spec", "", "render a JSON MDF spec instead of a workload")
+		b1       = flag.Int("b1", 3, "outer branching factor (synthetic)")
+		b2       = flag.Int("b2", 3, "inner branching factor (synthetic)")
+		stages   = flag.Bool("stages", false, "render the stage plan instead of the operator graph")
+	)
+	flag.Parse()
+
+	g, err := build(*job, *specPath, *b1, *b2)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *stages {
+		plan, err := graph.BuildPlan(g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(plan.DOT(*job))
+		return
+	}
+	fmt.Print(g.DOT(*job))
+}
+
+func build(job, specPath string, b1, b2 int) (*graph.Graph, error) {
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		s, err := spec.Parse(data)
+		if err != nil {
+			return nil, err
+		}
+		return s.Compile()
+	}
+	switch job {
+	case "kde":
+		p := kde.Defaults()
+		p.Rows = 1000
+		p.KernelNames = []string{"gaussian", "top-hat"}
+		p.Bandwidths = []float64{0.1, 0.3}
+		return kde.BuildMDF(p)
+	case "kde-example":
+		p := kde.DefaultExample()
+		p.Rows = 1000
+		return kde.BuildExampleMDF(p)
+	case "kde-scoped":
+		p := kde.DefaultScoped()
+		p.Rows = 1000
+		p.KernelNames = []string{"gaussian", "top-hat"}
+		p.Bandwidths = []float64{0.2}
+		return kde.BuildScopedMDF(p)
+	case "dnn":
+		p := dnn.Defaults()
+		p.Inits = dnn.Inits()[:2]
+		p.LearningRates = []float64{0.001, 0.01}
+		p.Momenta = []float64{0.9}
+		return dnn.BuildExhaustiveMDF(p)
+	case "dnn-early":
+		p := dnn.Defaults()
+		p.Inits = dnn.Inits()[:2]
+		p.LearningRates = []float64{0.001, 0.01}
+		p.Momenta = []float64{0.9}
+		return dnn.BuildEarlyChooseMDF(p)
+	case "timeseries":
+		p := timeseries.Defaults()
+		p.Rows = 1000
+		p.MarkWindows = []int{2}
+		p.MagDiffs = []float64{0.5, 2.0}
+		p.Durations = []int{200}
+		return timeseries.BuildMDF(p)
+	case "synthetic":
+		p := synthetic.Defaults()
+		p.Rows = 200
+		p.OuterBranches = b1
+		p.InnerBranches = b2
+		return synthetic.BuildMDF(p)
+	}
+	return nil, fmt.Errorf("mdfviz: unknown job %q", job)
+}

@@ -1,0 +1,3 @@
+module metadataflow
+
+go 1.22

@@ -1,0 +1,188 @@
+// Package cluster simulates the compute cluster of §2.1: a set of worker
+// nodes with finite memory and unbounded disk, connected to a master. The
+// simulation is a deterministic virtual-time model: operators run for real
+// over in-process data, but every compute and I/O action is charged virtual
+// seconds from a calibrated cost model, and each node serialises work on two
+// resource timelines (CPU and disk). Contending jobs naturally overlap I/O
+// and compute, which reproduces the behaviour of parallel job execution in
+// §6.1 without wall-clock measurement noise.
+package cluster
+
+import "fmt"
+
+// Config describes the simulated hardware.
+type Config struct {
+	// Workers is the number of worker nodes (the paper uses up to 12).
+	Workers int
+	// MemPerWorker is each worker's dataset memory budget in bytes.
+	MemPerWorker int64
+	// DiskReadBW and DiskWriteBW are disk bandwidths in bytes/second.
+	DiskReadBW  float64
+	DiskWriteBW float64
+	// MemReadBW and MemWriteBW are memory bandwidths in bytes/second.
+	MemReadBW  float64
+	MemWriteBW float64
+	// NetBW is the per-node network bandwidth in bytes/second; wide
+	// dependencies shuffle data across it (the paper's testbed has 1 Gbps
+	// Ethernet).
+	NetBW float64
+	// ComputeScale multiplies every operator compute cost; 1.0 models the
+	// paper's quad-core Xeon workers.
+	ComputeScale float64
+}
+
+// DefaultConfig mirrors the paper's testbed: 8 active workers (of 12),
+// 10 GB of dataset memory per worker (§6.2), commodity disk and DRAM
+// bandwidths.
+func DefaultConfig() Config {
+	return Config{
+		Workers:      8,
+		MemPerWorker: 10 << 30,
+		DiskReadBW:   150e6,
+		DiskWriteBW:  100e6,
+		MemReadBW:    5e9,
+		MemWriteBW:   3e9,
+		NetBW:        125e6, // 1 Gbps
+		ComputeScale: 1.0,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("cluster: need at least one worker, have %d", c.Workers)
+	}
+	if c.MemPerWorker <= 0 {
+		return fmt.Errorf("cluster: non-positive memory per worker")
+	}
+	for _, bw := range []float64{c.DiskReadBW, c.DiskWriteBW, c.MemReadBW, c.MemWriteBW, c.NetBW} {
+		if bw <= 0 {
+			return fmt.Errorf("cluster: non-positive bandwidth")
+		}
+	}
+	if c.ComputeScale <= 0 {
+		return fmt.Errorf("cluster: non-positive compute scale")
+	}
+	return nil
+}
+
+// Alpha is the hardware ratio used by anticipatory memory management
+// (§4.3): α = (w_d · r_m) / (w_m · r_d), where w/r are the times to write or
+// read a fixed amount of data to/from disk (d) or memory (m).
+func (c Config) Alpha() float64 {
+	wd := 1 / c.DiskWriteBW
+	rm := 1 / c.MemReadBW
+	wm := 1 / c.MemWriteBW
+	rd := 1 / c.DiskReadBW
+	return (wd * rm) / (wm * rd)
+}
+
+// DiskReadSec returns the virtual seconds to read bytes from disk.
+func (c Config) DiskReadSec(bytes int64) float64 { return float64(bytes) / c.DiskReadBW }
+
+// DiskWriteSec returns the virtual seconds to write bytes to disk.
+func (c Config) DiskWriteSec(bytes int64) float64 { return float64(bytes) / c.DiskWriteBW }
+
+// MemReadSec returns the virtual seconds to read bytes from memory.
+func (c Config) MemReadSec(bytes int64) float64 { return float64(bytes) / c.MemReadBW }
+
+// MemWriteSec returns the virtual seconds to write bytes to memory.
+func (c Config) MemWriteSec(bytes int64) float64 { return float64(bytes) / c.MemWriteBW }
+
+// NetSec returns the virtual seconds to move bytes over one node's link.
+func (c Config) NetSec(bytes int64) float64 { return float64(bytes) / c.NetBW }
+
+// Node is a simulated worker with three serial resources: a CPU, a disk and
+// a network link. Requests on a resource are served in arrival order.
+type Node struct {
+	// ID is the worker index.
+	ID int
+	// SlowFactor scales every duration on this node; > 1 models a
+	// straggler (§5). Zero means 1.
+	SlowFactor float64
+
+	cpuFree  float64
+	diskFree float64
+	netFree  float64
+}
+
+func (n *Node) scale(dur float64) float64 {
+	if n.SlowFactor > 1 {
+		return dur * n.SlowFactor
+	}
+	return dur
+}
+
+// CPU occupies the node's CPU for dur virtual seconds starting no earlier
+// than ready, returning the finish time.
+func (n *Node) CPU(ready, dur float64) float64 {
+	start := max(ready, n.cpuFree)
+	n.cpuFree = start + n.scale(dur)
+	return n.cpuFree
+}
+
+// Disk occupies the node's disk for dur virtual seconds starting no earlier
+// than ready, returning the finish time.
+func (n *Node) Disk(ready, dur float64) float64 {
+	start := max(ready, n.diskFree)
+	n.diskFree = start + n.scale(dur)
+	return n.diskFree
+}
+
+// Net occupies the node's network link for dur virtual seconds starting no
+// earlier than ready, returning the finish time.
+func (n *Node) Net(ready, dur float64) float64 {
+	start := max(ready, n.netFree)
+	n.netFree = start + n.scale(dur)
+	return n.netFree
+}
+
+// FreeAt returns the times at which the node's CPU and disk become free.
+func (n *Node) FreeAt() (cpu, disk float64) { return n.cpuFree, n.diskFree }
+
+// Cluster is a set of simulated worker nodes sharing a configuration.
+type Cluster struct {
+	Config Config
+	Nodes  []*Node
+}
+
+// New builds a cluster from the configuration.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{Config: cfg}
+	for i := 0; i < cfg.Workers; i++ {
+		c.Nodes = append(c.Nodes, &Node{ID: i})
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Cluster {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Reset clears all resource timelines, returning the cluster to time zero.
+func (c *Cluster) Reset() {
+	for _, n := range c.Nodes {
+		n.cpuFree, n.diskFree, n.netFree = 0, 0, 0
+	}
+}
+
+// Now returns the maximum resource-free time across the cluster: the virtual
+// time at which everything submitted so far has finished.
+func (c *Cluster) Now() float64 {
+	var t float64
+	for _, n := range c.Nodes {
+		t = max(t, n.cpuFree, n.diskFree, n.netFree)
+	}
+	return t
+}
+
+// NodeFor maps a partition index to a worker round-robin.
+func (c *Cluster) NodeFor(part int) *Node { return c.Nodes[part%len(c.Nodes)] }

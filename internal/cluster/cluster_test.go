@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Workers = 0 },
+		func(c *Config) { c.MemPerWorker = 0 },
+		func(c *Config) { c.DiskReadBW = 0 },
+		func(c *Config) { c.DiskWriteBW = -1 },
+		func(c *Config) { c.MemReadBW = 0 },
+		func(c *Config) { c.MemWriteBW = 0 },
+		func(c *Config) { c.ComputeScale = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestAlphaDefinition(t *testing.T) {
+	cfg := DefaultConfig()
+	// α = (w_d · r_m) / (w_m · r_d) with w/r as times per byte.
+	want := ((1 / cfg.DiskWriteBW) * (1 / cfg.MemReadBW)) /
+		((1 / cfg.MemWriteBW) * (1 / cfg.DiskReadBW))
+	if got := cfg.Alpha(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("alpha = %v, want %v", got, want)
+	}
+	if cfg.Alpha() <= 0 {
+		t.Fatal("alpha must be positive")
+	}
+}
+
+func TestCostHelpers(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := cfg.DiskReadSec(int64(cfg.DiskReadBW)); math.Abs(got-1) > 1e-9 {
+		t.Errorf("DiskReadSec(one second of bytes) = %v, want 1", got)
+	}
+	if cfg.MemReadSec(1<<20) >= cfg.DiskReadSec(1<<20) {
+		t.Error("memory reads must be faster than disk reads")
+	}
+}
+
+func TestNodeResourceSerialization(t *testing.T) {
+	n := &Node{}
+	end1 := n.CPU(0, 10)
+	end2 := n.CPU(0, 5) // requested at t=0 but CPU is busy until 10
+	if end1 != 10 {
+		t.Fatalf("first task end = %v, want 10", end1)
+	}
+	if end2 != 15 {
+		t.Fatalf("second task must queue: end = %v, want 15", end2)
+	}
+	// Disk is an independent resource.
+	if end := n.Disk(0, 3); end != 3 {
+		t.Fatalf("disk end = %v, want 3 (independent of CPU)", end)
+	}
+}
+
+func TestNodeIdleGap(t *testing.T) {
+	n := &Node{}
+	n.CPU(0, 2)
+	if end := n.CPU(10, 1); end != 11 {
+		t.Fatalf("task after idle gap: end = %v, want 11", end)
+	}
+}
+
+func TestStragglerScaling(t *testing.T) {
+	slow := &Node{SlowFactor: 3}
+	if end := slow.CPU(0, 2); end != 6 {
+		t.Fatalf("straggler end = %v, want 6", end)
+	}
+	normal := &Node{SlowFactor: 1}
+	if end := normal.CPU(0, 2); end != 2 {
+		t.Fatalf("unit slow factor end = %v, want 2", end)
+	}
+}
+
+func TestClusterNewAndReset(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	if len(c.Nodes) != DefaultConfig().Workers {
+		t.Fatalf("nodes = %d, want %d", len(c.Nodes), DefaultConfig().Workers)
+	}
+	c.Nodes[0].CPU(0, 5)
+	c.Nodes[1].Disk(0, 7)
+	if c.Now() != 7 {
+		t.Fatalf("Now = %v, want 7", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("after Reset Now = %v, want 0", c.Now())
+	}
+}
+
+func TestNodeForRoundRobin(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 3
+	c := MustNew(cfg)
+	if c.NodeFor(0) != c.Nodes[0] || c.NodeFor(4) != c.Nodes[1] {
+		t.Fatal("NodeFor must map partitions round-robin")
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// Property: resource end times are monotone in request order and never
+// before the ready time.
+func TestNodeMonotonicityProperty(t *testing.T) {
+	f := func(durs []uint16, readies []uint16) bool {
+		n := &Node{}
+		prevEnd := 0.0
+		for i, d := range durs {
+			ready := 0.0
+			if i < len(readies) {
+				ready = float64(readies[i]) / 16
+			}
+			dur := float64(d) / 256
+			end := n.CPU(ready, dur)
+			if end < ready+dur-1e-9 {
+				return false
+			}
+			if end < prevEnd-1e-9 {
+				return false
+			}
+			prevEnd = end
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNetResourceIndependent(t *testing.T) {
+	n := &Node{}
+	n.CPU(0, 5)
+	if end := n.Net(0, 2); end != 2 {
+		t.Fatalf("net end = %v, want 2 (independent of CPU)", end)
+	}
+	if end := n.Net(0, 3); end != 5 {
+		t.Fatalf("net must serialize: end = %v, want 5", end)
+	}
+}
+
+func TestNetSec(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := cfg.NetSec(int64(cfg.NetBW)); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("NetSec(one second of bytes) = %v, want 1", got)
+	}
+}
+
+func TestWriteCostsAndFreeAt(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.DiskWriteSec(1<<20) <= 0 || cfg.MemWriteSec(1<<20) <= 0 {
+		t.Fatal("non-positive write costs")
+	}
+	if cfg.MemWriteSec(1<<20) >= cfg.DiskWriteSec(1<<20) {
+		t.Fatal("memory writes must be faster than disk writes")
+	}
+	n := &Node{}
+	n.CPU(0, 3)
+	n.Disk(0, 5)
+	cpu, disk := n.FreeAt()
+	if cpu != 3 || disk != 5 {
+		t.Fatalf("FreeAt = (%v, %v), want (3, 5)", cpu, disk)
+	}
+}

@@ -1,0 +1,179 @@
+// Package dataset implements the data model of the meta-dataflow paper
+// (App. A): finite datasets of an opaque domain that can be partitioned
+// across cluster nodes and concatenated with ⊕.
+//
+// A dataset carries two notions of size. The in-process payload (Rows) is
+// real data that operator functions transform, so that downstream decisions
+// such as choose scores are computed from genuine results. The virtual size
+// (VirtualBytes) is the number of bytes the simulated cluster accounts for
+// when charging I/O time and memory occupancy; it lets benchmarks process
+// "gigabytes" per worker without holding gigabytes in RAM.
+package dataset
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Row is a single data item. The model imposes no structure on rows
+// (§2.1 "without imposing assumptions on the structure of data");
+// workloads define concrete row types.
+type Row any
+
+// ID uniquely identifies a dataset within an engine run.
+type ID int64
+
+var nextID atomic.Int64
+
+// NewID returns a fresh process-unique dataset ID.
+func NewID() ID { return ID(nextID.Add(1)) }
+
+// Partition is a horizontal fragment of a dataset, resident on one node.
+type Partition struct {
+	// Rows is the real payload the operators compute over.
+	Rows []Row
+	// VirtualBytes is the size the cluster simulator accounts for.
+	VirtualBytes int64
+}
+
+// NumRows returns the number of rows in the partition.
+func (p *Partition) NumRows() int { return len(p.Rows) }
+
+// Dataset is a named, partitioned collection of rows.
+type Dataset struct {
+	ID    ID
+	Name  string
+	Parts []*Partition
+}
+
+// New creates an empty dataset with a fresh ID.
+func New(name string) *Dataset {
+	return &Dataset{ID: NewID(), Name: name}
+}
+
+// FromRows builds a dataset by splitting rows into parts partitions of
+// near-equal length. The virtual size is bytesPerRow × row count, spread
+// proportionally over the partitions. parts must be >= 1.
+func FromRows(name string, rows []Row, parts int, bytesPerRow int64) *Dataset {
+	if parts < 1 {
+		panic("dataset: parts must be >= 1")
+	}
+	d := New(name)
+	n := len(rows)
+	for i := 0; i < parts; i++ {
+		lo := i * n / parts
+		hi := (i + 1) * n / parts
+		pr := rows[lo:hi]
+		d.Parts = append(d.Parts, &Partition{
+			Rows:         pr,
+			VirtualBytes: int64(len(pr)) * bytesPerRow,
+		})
+	}
+	return d
+}
+
+// NumPartitions returns the number of partitions.
+func (d *Dataset) NumPartitions() int { return len(d.Parts) }
+
+// NumRows returns the total number of rows across partitions.
+func (d *Dataset) NumRows() int {
+	n := 0
+	for _, p := range d.Parts {
+		n += len(p.Rows)
+	}
+	return n
+}
+
+// VirtualBytes returns the total accounted size of the dataset.
+func (d *Dataset) VirtualBytes() int64 {
+	var b int64
+	for _, p := range d.Parts {
+		b += p.VirtualBytes
+	}
+	return b
+}
+
+// Rows returns all rows of the dataset in partition order. The returned
+// slice is freshly allocated.
+func (d *Dataset) Rows() []Row {
+	out := make([]Row, 0, d.NumRows())
+	for _, p := range d.Parts {
+		out = append(out, p.Rows...)
+	}
+	return out
+}
+
+// SetVirtualBytes overrides the accounted size of the dataset, spreading
+// total evenly over partitions. Used by synthetic workloads that decouple
+// accounted size from payload size.
+func (d *Dataset) SetVirtualBytes(total int64) {
+	if len(d.Parts) == 0 {
+		return
+	}
+	per := total / int64(len(d.Parts))
+	rem := total - per*int64(len(d.Parts))
+	for i, p := range d.Parts {
+		p.VirtualBytes = per
+		if int64(i) < rem {
+			p.VirtualBytes++
+		}
+	}
+}
+
+// ScaleVirtualBytes multiplies every partition's accounted size by f.
+func (d *Dataset) ScaleVirtualBytes(f float64) {
+	for _, p := range d.Parts {
+		p.VirtualBytes = int64(float64(p.VirtualBytes) * f)
+	}
+}
+
+// Concat implements ⊕: it concatenates the datasets into a new dataset,
+// preserving partitioning. Nil inputs are skipped. The result has a fresh ID.
+func Concat(name string, ds ...*Dataset) *Dataset {
+	out := New(name)
+	for _, d := range ds {
+		if d == nil {
+			continue
+		}
+		out.Parts = append(out.Parts, d.Parts...)
+	}
+	return out
+}
+
+// Repartition redistributes all rows into parts near-equal partitions,
+// preserving the total virtual size.
+func (d *Dataset) Repartition(parts int) *Dataset {
+	if parts < 1 {
+		panic("dataset: parts must be >= 1")
+	}
+	total := d.VirtualBytes()
+	rows := d.Rows()
+	out := New(d.Name)
+	n := len(rows)
+	for i := 0; i < parts; i++ {
+		lo := i * n / parts
+		hi := (i + 1) * n / parts
+		out.Parts = append(out.Parts, &Partition{Rows: rows[lo:hi]})
+	}
+	out.SetVirtualBytes(total)
+	return out
+}
+
+// String implements fmt.Stringer.
+func (d *Dataset) String() string {
+	return fmt.Sprintf("dataset(%d %q parts=%d rows=%d vbytes=%d)",
+		d.ID, d.Name, d.NumPartitions(), d.NumRows(), d.VirtualBytes())
+}
+
+// PartKey identifies one partition of one dataset; the cluster simulator and
+// memory manager key residency information by PartKey.
+type PartKey struct {
+	Dataset ID
+	Index   int
+}
+
+// Key returns the PartKey for partition i of the dataset.
+func (d *Dataset) Key(i int) PartKey { return PartKey{Dataset: d.ID, Index: i} }
+
+// String implements fmt.Stringer.
+func (k PartKey) String() string { return fmt.Sprintf("d%d/p%d", k.Dataset, k.Index) }

@@ -1,0 +1,171 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func intRows(n int) []Row {
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+func TestFromRowsPartitioning(t *testing.T) {
+	d := FromRows("t", intRows(10), 3, 8)
+	if d.NumPartitions() != 3 {
+		t.Fatalf("partitions = %d, want 3", d.NumPartitions())
+	}
+	if d.NumRows() != 10 {
+		t.Fatalf("rows = %d, want 10", d.NumRows())
+	}
+	if d.VirtualBytes() != 80 {
+		t.Fatalf("virtual bytes = %d, want 80", d.VirtualBytes())
+	}
+}
+
+func TestFromRowsPanicsOnZeroParts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromRows("t", intRows(3), 0, 1)
+}
+
+func TestRowsPreservesOrder(t *testing.T) {
+	d := FromRows("t", intRows(17), 4, 1)
+	for i, r := range d.Rows() {
+		if r.(int) != i {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+}
+
+func TestFreshIDs(t *testing.T) {
+	a := New("a")
+	b := New("b")
+	if a.ID == b.ID {
+		t.Fatal("dataset IDs must be unique")
+	}
+}
+
+func TestConcatCombinesPartitions(t *testing.T) {
+	a := FromRows("a", intRows(4), 2, 10)
+	b := FromRows("b", intRows(6), 3, 10)
+	c := Concat("c", a, nil, b)
+	if c.NumPartitions() != 5 {
+		t.Fatalf("partitions = %d, want 5", c.NumPartitions())
+	}
+	if c.NumRows() != 10 {
+		t.Fatalf("rows = %d, want 10", c.NumRows())
+	}
+	if c.VirtualBytes() != a.VirtualBytes()+b.VirtualBytes() {
+		t.Fatal("concat must preserve total virtual size")
+	}
+	if c.ID == a.ID || c.ID == b.ID {
+		t.Fatal("concat must mint a fresh ID")
+	}
+}
+
+func TestSetVirtualBytesSpreadsExactly(t *testing.T) {
+	d := FromRows("t", intRows(9), 4, 0)
+	d.SetVirtualBytes(1003)
+	if got := d.VirtualBytes(); got != 1003 {
+		t.Fatalf("total = %d, want 1003", got)
+	}
+}
+
+func TestScaleVirtualBytes(t *testing.T) {
+	d := FromRows("t", intRows(8), 2, 100)
+	d.ScaleVirtualBytes(0.5)
+	if got := d.VirtualBytes(); got != 400 {
+		t.Fatalf("scaled total = %d, want 400", got)
+	}
+}
+
+func TestRepartitionPreservesRowsAndBytes(t *testing.T) {
+	d := FromRows("t", intRows(10), 2, 7)
+	r := d.Repartition(5)
+	if r.NumPartitions() != 5 {
+		t.Fatalf("partitions = %d, want 5", r.NumPartitions())
+	}
+	if r.NumRows() != 10 || r.VirtualBytes() != d.VirtualBytes() {
+		t.Fatal("repartition must preserve rows and bytes")
+	}
+}
+
+func TestPartKeyIdentity(t *testing.T) {
+	d := FromRows("t", intRows(4), 2, 1)
+	if d.Key(0) == d.Key(1) {
+		t.Fatal("partition keys must differ by index")
+	}
+	e := FromRows("t", intRows(4), 2, 1)
+	if d.Key(0) == e.Key(0) {
+		t.Fatal("partition keys must differ by dataset")
+	}
+}
+
+// Property: for any row count and partition count, FromRows loses no rows,
+// assigns every row exactly once, and SetVirtualBytes distributes exactly.
+func TestFromRowsProperties(t *testing.T) {
+	f := func(nRows uint8, nParts uint8, total uint32) bool {
+		n := int(nRows)
+		p := int(nParts)%8 + 1
+		d := FromRows("q", intRows(n), p, 1)
+		if d.NumRows() != n || d.NumPartitions() != p {
+			return false
+		}
+		for i, r := range d.Rows() {
+			if r.(int) != i {
+				return false
+			}
+		}
+		d.SetVirtualBytes(int64(total))
+		return d.VirtualBytes() == int64(total)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: concatenation is associative with respect to rows and sizes.
+func TestConcatAssociativeProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		da := FromRows("a", intRows(int(a)), int(a)%3+1, 2)
+		db := FromRows("b", intRows(int(b)), int(b)%3+1, 3)
+		dc := FromRows("c", intRows(int(c)), int(c)%3+1, 4)
+		left := Concat("l", Concat("ab", da, db), dc)
+		right := Concat("r", da, Concat("bc", db, dc))
+		if left.NumRows() != right.NumRows() {
+			return false
+		}
+		return left.VirtualBytes() == right.VirtualBytes()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	d := FromRows("t", intRows(4), 2, 8)
+	if s := d.String(); s == "" {
+		t.Error("empty dataset string")
+	}
+	if s := d.Key(1).String(); s == "" {
+		t.Error("empty part key string")
+	}
+	if d.Parts[0].NumRows() != 2 {
+		t.Errorf("partition rows = %d, want 2", d.Parts[0].NumRows())
+	}
+}
+
+func TestSetVirtualBytesEmptyDataset(t *testing.T) {
+	d := New("empty")
+	d.SetVirtualBytes(100) // must not panic
+	if d.VirtualBytes() != 0 {
+		t.Error("empty dataset cannot hold bytes")
+	}
+}

@@ -1,0 +1,264 @@
+package engine
+
+import (
+	"fmt"
+
+	"metadataflow/internal/dataset"
+	"metadataflow/internal/graph"
+	"metadataflow/internal/scheduler"
+)
+
+// chooseStateFor lazily creates the incremental selection session for a
+// choose stage. Scores are retained at the master, which is also the
+// checkpoint the fault-tolerance mechanism recovers from (§5).
+func (r *Run) chooseStateFor(st *graph.Stage) *chooseState {
+	cs, ok := r.sessions[st.ID]
+	if ok {
+		return cs
+	}
+	chooser := st.Ops[0].Chooser
+	total := len(r.plan.Pre(st))
+	session := chooser.NewSession(total)
+	if oa, ok := session.(orderAware); ok {
+		oa.SetSortedOrder(r.opts.Scheduler.SortedBranches())
+	}
+	cs = &chooseState{
+		session:  session,
+		offered:  make(map[int]bool),
+		scores:   make(map[int]float64),
+		released: make(map[int]bool),
+	}
+	r.sessions[st.ID] = cs
+	return cs
+}
+
+// branchIndexOf returns the input index of branchFinal among the choose
+// stage's predecessors; branch i of the scope is the choose's i-th input
+// (Def. 3.3).
+func (r *Run) branchIndexOf(chooseSt, branchFinal *graph.Stage) (int, error) {
+	for i, pre := range r.plan.Pre(chooseSt) {
+		if pre.ID == branchFinal.ID {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: stage %s is not a branch of %s", branchFinal, chooseSt)
+}
+
+// evalBranchOf scores the branch that just completed with branchFinal, as
+// soon as it completes (incremental choose evaluation, §3.1).
+func (r *Run) evalBranchOf(chooseSt, branchFinal *graph.Stage) error {
+	branch, err := r.branchIndexOf(chooseSt, branchFinal)
+	if err != nil {
+		return err
+	}
+	return r.evalBranch(chooseSt, branch, r.stageEnd[branchFinal.ID])
+}
+
+// evalBranch runs the evaluator function of the choose on workers for one
+// branch result (Alg. 1, line 7), offers the score to the master-side
+// selection session (line 8), discards the datasets of rejected branches,
+// and prunes superfluous branches when the session completes early.
+func (r *Run) evalBranch(chooseSt *graph.Stage, branch int, ready float64) error {
+	cs := r.chooseStateFor(chooseSt)
+	if cs.offered[branch] || cs.done {
+		return nil
+	}
+	pre := r.plan.Pre(chooseSt)[branch]
+	d := r.stageOut[pre.ID]
+	if d == nil {
+		return fmt.Errorf("engine: choose %s branch %d has no dataset", chooseSt, branch)
+	}
+	op := chooseSt.Ops[0]
+
+	// Workers read the branch result and compute the evaluator score.
+	nodeT := r.loadInputs([]*dataset.Dataset{d}, ready)
+	scan := op.CostPerMB * float64(d.VirtualBytes()) / bytesPerMB
+	r.chargeCompute([]*dataset.Dataset{d}, op.FixedCost, scan, nodeT)
+	end := ready
+	for _, t := range nodeT {
+		if t > end {
+			end = t
+		}
+	}
+	if end > cs.evalEnd {
+		cs.evalEnd = end
+	}
+	if end > r.now {
+		r.now = end
+	}
+
+	r.trace(EventChooseEval, fmt.Sprintf("%s[b%d]", chooseSt, branch), ready, end)
+	score := op.Chooser.Score(d)
+	r.metrics.ChooseEvals++
+	cs.offered[branch] = true
+	cs.scores[branch] = score
+
+	// Feed stateful scheduling hints (§4.2(iii)) with the observed score.
+	if sa, ok := r.opts.Scheduler.(scheduler.ScoreAware); ok {
+		if scope := r.plan.ScopeOfChoose(chooseSt); scope != nil && len(scope.Branches[branch]) > 0 {
+			head := r.plan.Graph.Op(scope.Branches[branch][0])
+			sa.ObserveScore(op, head.Hint, score)
+		}
+	}
+
+	// The selection function executes at the master (negligible cost).
+	discards, done := cs.session.Offer(branch, score)
+	// A discard counts as incremental (Tab. 1) only while branches remain
+	// unscored; the final offer's discards coincide with the choose itself.
+	incremental := len(cs.offered) < len(r.plan.Pre(chooseSt))
+	for _, db := range discards {
+		r.discardBranchDataset(chooseSt, cs, db, incremental)
+	}
+	if done && !cs.done {
+		cs.done = true
+		r.pruneRemaining(chooseSt, cs)
+	}
+	return nil
+}
+
+// discardBranchDataset drops the result dataset of a rejected branch (R1a,
+// R3: discarding as early as possible).
+func (r *Run) discardBranchDataset(chooseSt *graph.Stage, cs *chooseState, branch int, incremental bool) {
+	if cs.released[branch] {
+		return
+	}
+	pre := r.plan.Pre(chooseSt)[branch]
+	d := r.stageOut[pre.ID]
+	if d == nil {
+		return
+	}
+	cs.released[branch] = true
+	if incremental {
+		r.metrics.BranchesDiscarded++
+	}
+	r.consumeInput(d)
+}
+
+// pruneRemaining skips every branch of the choose's scope that has not been
+// scored: the selection is complete, so those branches are superfluous
+// (R1b). The dataflow is rewritten dynamically, as the SEEP master does
+// after a choose decision (§5).
+func (r *Run) pruneRemaining(chooseSt *graph.Stage, cs *chooseState) {
+	scope := r.plan.ScopeOfChoose(chooseSt)
+	if scope == nil {
+		return
+	}
+	for b := range r.plan.Pre(chooseSt) {
+		if cs.offered[b] {
+			continue
+		}
+		pruned := false
+		for _, st := range r.plan.BranchStages(scope, b) {
+			if !r.executed[st.ID] && !r.skipped[st.ID] {
+				r.skipStage(st, r.now)
+				pruned = true
+			}
+		}
+		if pruned {
+			r.metrics.BranchesPruned++
+		}
+	}
+	r.refreshReady()
+}
+
+// skipStage marks a stage as pruned and releases the inputs it would have
+// consumed.
+func (r *Run) skipStage(st *graph.Stage, t float64) {
+	if r.skipped[st.ID] || r.executed[st.ID] {
+		return
+	}
+	r.skipped[st.ID] = true
+	r.stageEnd[st.ID] = t
+	r.metrics.StagesPruned++
+	r.trace(EventPruned, st.String(), t, t)
+	delete(r.ready, st.ID)
+	for _, pre := range r.plan.Pre(st) {
+		if r.executed[pre.ID] {
+			if d := r.stageOut[pre.ID]; d != nil {
+				r.consumeInput(d)
+			}
+		}
+	}
+}
+
+// execChoose executes a choose stage: it scores any branches not yet
+// evaluated incrementally, finalises the selection, and produces the
+// choose's output (the concatenation of the selected datasets, Def. 3.3).
+func (r *Run) execChoose(st *graph.Stage) error {
+	cs := r.chooseStateFor(st)
+	ready := r.readyTime(st)
+	pres := r.plan.Pre(st)
+
+	if !cs.done {
+		for b, pre := range pres {
+			if cs.offered[b] || r.skipped[pre.ID] {
+				continue
+			}
+			if err := r.evalBranch(st, b, ready); err != nil {
+				return err
+			}
+			if cs.done {
+				break
+			}
+		}
+	}
+
+	end := cs.evalEnd
+	if ready > end {
+		end = ready
+	}
+
+	selected := cs.session.Selected()
+	switch len(selected) {
+	case 0:
+		out := dataset.New(st.Ops[0].Name)
+		r.finalizeChooseInputs(st, cs, nil)
+		r.registerOutput(st, out)
+	case 1:
+		d := r.stageOut[pres[selected[0]].ID]
+		if d == nil {
+			return fmt.Errorf("engine: choose %s selected missing branch %d", st, selected[0])
+		}
+		r.finalizeChooseInputs(st, cs, map[int]bool{selected[0]: true})
+		r.registerOutput(st, d)
+		r.consumeForward(d)
+	default:
+		keep := make(map[int]bool, len(selected))
+		var parts []*dataset.Dataset
+		for _, b := range selected {
+			keep[b] = true
+			if d := r.stageOut[pres[b].ID]; d != nil {
+				parts = append(parts, d)
+			}
+		}
+		// Concatenation materialises a new dataset: read the selected
+		// originals (possibly from disk), copy their partitions into fresh
+		// storage, then release the originals.
+		nodeT := r.loadInputs(parts, end)
+		out := dataset.Concat(st.Ops[0].Name, parts...)
+		copied := dataset.New(out.Name)
+		for _, p := range out.Parts {
+			copied.Parts = append(copied.Parts, &dataset.Partition{Rows: p.Rows, VirtualBytes: p.VirtualBytes})
+		}
+		end = r.storeOutput(copied, nodeT)
+		r.finalizeChooseInputs(st, cs, nil) // release all originals
+		r.registerOutput(st, copied)
+	}
+	r.markExecuted(st, end)
+	r.trace(EventChoose, st.String(), ready, end)
+	return nil
+}
+
+// finalizeChooseInputs consumes every offered branch dataset except those in
+// keep (which are forwarded as the choose's output).
+func (r *Run) finalizeChooseInputs(st *graph.Stage, cs *chooseState, keep map[int]bool) {
+	for b, pre := range r.plan.Pre(st) {
+		if !cs.offered[b] || keep[b] || cs.released[b] {
+			continue
+		}
+		cs.released[b] = true
+		if d := r.stageOut[pre.ID]; d != nil {
+			r.consumeInput(d)
+		}
+	}
+}

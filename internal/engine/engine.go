@@ -1,0 +1,466 @@
+// Package engine executes dataflow graphs and MDFs on the simulated cluster,
+// mirroring the SEEP implementation of §5: a master-side scheduler drives
+// stage execution on workers, choose evaluator functions run on workers
+// while selection functions run at the master, the dataflow is rewritten
+// dynamically when choose decisions prune branches, and worker memory
+// allocators spill datasets under the configured eviction policy.
+//
+// Completion times are virtual seconds from the cluster's discrete-event
+// cost model; operator functions execute for real so that choose decisions
+// are based on genuine result quality.
+package engine
+
+import (
+	"fmt"
+
+	"metadataflow/internal/cluster"
+	"metadataflow/internal/dataset"
+	"metadataflow/internal/graph"
+	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/scheduler"
+)
+
+// Options configures a run.
+type Options struct {
+	// Cluster is the simulated cluster; required.
+	Cluster *cluster.Cluster
+	// MemPerWorker is the job's dataset-memory budget per worker in bytes;
+	// 0 uses the cluster's configured budget. Parallel-job baselines pass
+	// a 1/k share (§6.1).
+	MemPerWorker int64
+	// Policy selects the eviction policy (LRU or AMM).
+	Policy memorymgr.PolicyKind
+	// Scheduler selects the stage-scheduling policy (BFS or BAS); nil
+	// defaults to BAS with the default hint.
+	Scheduler scheduler.Policy
+	// Incremental enables incremental choose evaluation (§3.1): branch
+	// results are scored as soon as the branch completes, datasets of
+	// discarded branches are dropped immediately, and superfluous branches
+	// are pruned before executing.
+	Incremental bool
+	// PinReused pins datasets consumed by more than one stage, modelling
+	// Spark's explicit cache() designation of reused intermediates (§6.1).
+	PinReused bool
+	// Trace records a per-stage execution timeline in the result.
+	Trace bool
+	// Speculative enables straggler mitigation (§5: "can leverage existing
+	// mechanisms"): the compute shares of a stage are rebalanced by node
+	// speed, modelling speculative re-execution of a slow worker's tasks on
+	// faster ones. I/O stays bound to data placement.
+	Speculative bool
+	// FailAfterStage, when >= 0, injects a node failure after that many
+	// stage executions: the node's resident partitions are lost and must
+	// be re-read from checkpoints (§5 fault tolerance). FailNode selects
+	// the worker.
+	FailAfterStage int
+	FailNode       int
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Scheduler == nil {
+		out.Scheduler = scheduler.BAS(nil)
+	}
+	if out.MemPerWorker == 0 && out.Cluster != nil {
+		out.MemPerWorker = out.Cluster.Config.MemPerWorker
+	}
+	if o.FailAfterStage == 0 && o.FailNode == 0 {
+		out.FailAfterStage = -1
+	}
+	return out
+}
+
+// Metrics aggregates the statistics of one run.
+type Metrics struct {
+	// Mem holds the memory-manager statistics (hit ratio etc.).
+	Mem memorymgr.Metrics
+	// ComputeSec is the total virtual compute time charged.
+	ComputeSec float64
+	// StagesExecuted and StagesPruned count scheduling outcomes.
+	StagesExecuted int
+	StagesPruned   int
+	// BranchesPruned counts branches skipped as superfluous (R1b).
+	BranchesPruned int
+	// BranchesDiscarded counts branches whose datasets were discarded
+	// after evaluation (R1a/R3).
+	BranchesDiscarded int
+	// DatasetsDiscarded counts datasets dropped once fully consumed (R3).
+	DatasetsDiscarded int
+	// PeakLiveDatasets is the maximum |D^c_s| over the run (Thm. 4.3).
+	PeakLiveDatasets int
+	// ChooseEvals counts evaluator invocations.
+	ChooseEvals int
+}
+
+// EventKind classifies a timeline event.
+type EventKind int
+
+const (
+	// EventStage is a regular stage execution.
+	EventStage EventKind = iota
+	// EventChooseEval is a worker-side evaluator invocation for a branch.
+	EventChooseEval
+	// EventChoose is the master-side selection of a choose stage.
+	EventChoose
+	// EventPruned marks a stage skipped as superfluous.
+	EventPruned
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventStage:
+		return "stage"
+	case EventChooseEval:
+		return "eval"
+	case EventChoose:
+		return "choose"
+	case EventPruned:
+		return "pruned"
+	}
+	return "event"
+}
+
+// StageEvent is one entry of the execution timeline (recorded when
+// Options.Trace is set).
+type StageEvent struct {
+	// Kind classifies the event.
+	Kind EventKind
+	// Stage is the stage's display label.
+	Stage string
+	// Start and End are the event's virtual time span (equal for pruning
+	// decisions).
+	Start, End float64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Start and End are the virtual start and completion times; End-Start
+	// is the job's completion time.
+	Start, End float64
+	// Output is the dataset produced by the sink stage.
+	Output *dataset.Dataset
+	// Metrics holds run statistics.
+	Metrics Metrics
+	// Timeline is the per-stage execution trace (nil unless Options.Trace).
+	Timeline []StageEvent
+}
+
+// CompletionTime returns End - Start.
+func (r *Result) CompletionTime() float64 { return r.End - r.Start }
+
+// Run is a resumable execution of one job; Step executes one stage at a
+// time so that concurrent jobs can be interleaved by virtual time.
+type Run struct {
+	plan *graph.Plan
+	opts Options
+
+	allocs []*memorymgr.Allocator
+
+	start    float64
+	now      float64
+	last     *graph.Stage
+	ready    map[int]*graph.Stage
+	executed map[int]bool
+	skipped  map[int]bool
+	stageEnd map[int]float64
+	stageOut map[int]*dataset.Dataset
+
+	// consumersLeft tracks remaining consumer stages per dataset (D^c_s).
+	consumersLeft map[dataset.ID]int
+	datasets      map[dataset.ID]*dataset.Dataset
+	protectedIDs  map[dataset.ID]bool // sink outputs, never discarded
+	liveCount     int
+
+	sessions map[int]*chooseState // choose stage ID -> state
+
+	metrics  Metrics
+	timeline []StageEvent
+	output   *dataset.Dataset
+	err      error
+	done     bool
+}
+
+// trace appends a timeline event when tracing is enabled.
+func (r *Run) trace(kind EventKind, label string, start, end float64) {
+	if !r.opts.Trace {
+		return
+	}
+	r.timeline = append(r.timeline, StageEvent{Kind: kind, Stage: label, Start: start, End: end})
+}
+
+type chooseState struct {
+	session  graph.ChooseSession
+	offered  map[int]bool // branch index -> scored
+	scores   map[int]float64
+	released map[int]bool // branch dataset already consumed
+	done     bool         // remaining branches superfluous
+	evalEnd  float64
+}
+
+// NewRun prepares a run of the plan with the given options. start is the
+// virtual time at which the job is submitted.
+func NewRun(plan *graph.Plan, opts Options, start float64) (*Run, error) {
+	o := (&opts).withDefaults()
+	if o.Cluster == nil {
+		return nil, fmt.Errorf("engine: options need a cluster")
+	}
+	o.Scheduler.Init(plan)
+	r := &Run{
+		plan:          plan,
+		opts:          o,
+		start:         start,
+		now:           start,
+		ready:         make(map[int]*graph.Stage),
+		executed:      make(map[int]bool),
+		skipped:       make(map[int]bool),
+		stageEnd:      make(map[int]float64),
+		stageOut:      make(map[int]*dataset.Dataset),
+		consumersLeft: make(map[dataset.ID]int),
+		datasets:      make(map[dataset.ID]*dataset.Dataset),
+		protectedIDs:  make(map[dataset.ID]bool),
+		sessions:      make(map[int]*chooseState),
+	}
+	for _, n := range o.Cluster.Nodes {
+		r.allocs = append(r.allocs, memorymgr.NewAllocator(n, o.Cluster.Config, o.MemPerWorker, o.Policy, r))
+	}
+	for _, st := range plan.SourceStages() {
+		r.ready[st.ID] = st
+	}
+	return r, nil
+}
+
+// FutureAccesses implements memorymgr.AccessCounter for AMM (Alg. 2): the
+// number of consumer stages that will still read the dataset.
+func (r *Run) FutureAccesses(key dataset.PartKey) int {
+	n := r.consumersLeft[key.Dataset]
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Now returns the job's current virtual time.
+func (r *Run) Now() float64 { return r.now }
+
+// Done reports whether the run has finished (successfully or not).
+func (r *Run) Done() bool { return r.done }
+
+// Err returns the first execution error.
+func (r *Run) Err() error { return r.err }
+
+// Allocator exposes the allocator of node n (for tests and tooling).
+func (r *Run) Allocator(n int) *memorymgr.Allocator { return r.allocs[n] }
+
+// LiveDatasets returns |D^c_s|: datasets still needed to complete execution.
+func (r *Run) LiveDatasets() int { return r.liveCount }
+
+// Result finalises and returns the run's result. It is valid once Done.
+func (r *Run) Result() *Result {
+	res := &Result{Start: r.start, End: r.now, Output: r.output, Metrics: r.metrics, Timeline: r.timeline}
+	for _, a := range r.allocs {
+		res.Metrics.Mem.Merge(a.Metrics())
+	}
+	return res
+}
+
+// Step executes the next stage. It returns false once the run is complete
+// or failed.
+func (r *Run) Step() bool {
+	if r.done {
+		return false
+	}
+	ready := r.readySlice()
+	if len(ready) == 0 {
+		r.finish()
+		return false
+	}
+	next := r.opts.Scheduler.Pick(ready, r.last)
+	delete(r.ready, next.ID)
+
+	var err error
+	if next.IsChoose() {
+		err = r.execChoose(next)
+	} else {
+		err = r.execStage(next)
+	}
+	if err != nil {
+		r.err = err
+		r.done = true
+		return false
+	}
+	r.last = next
+	r.metrics.StagesExecuted++
+	if r.opts.FailAfterStage >= 0 && r.metrics.StagesExecuted == r.opts.FailAfterStage {
+		if r.opts.FailNode >= 0 && r.opts.FailNode < len(r.allocs) {
+			r.allocs[r.opts.FailNode].FailNode()
+		}
+	}
+	r.refreshReady()
+	if len(r.ready) == 0 {
+		r.finish()
+		return false
+	}
+	return true
+}
+
+// RunToCompletion steps the run until done and returns its result.
+func (r *Run) RunToCompletion() (*Result, error) {
+	for r.Step() {
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return r.Result(), nil
+}
+
+// Execute builds a plan from g and runs it to completion from time 0.
+func Execute(g *graph.Graph, opts Options) (*Result, error) {
+	plan, err := graph.BuildPlan(g)
+	if err != nil {
+		return nil, err
+	}
+	run, err := NewRun(plan, opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	return run.RunToCompletion()
+}
+
+func (r *Run) finish() {
+	r.done = true
+	// The output is the dataset of the sink stage(s); with several sinks,
+	// their outputs are concatenated.
+	var outs []*dataset.Dataset
+	for _, st := range r.plan.Stages {
+		if len(r.plan.Post(st)) == 0 && r.executed[st.ID] {
+			if d := r.stageOut[st.ID]; d != nil {
+				outs = append(outs, d)
+			}
+		}
+	}
+	switch len(outs) {
+	case 0:
+	case 1:
+		r.output = outs[0]
+	default:
+		r.output = dataset.Concat("output", outs...)
+	}
+}
+
+func (r *Run) readySlice() []*graph.Stage {
+	out := make([]*graph.Stage, 0, len(r.ready))
+	for _, st := range r.plan.Stages {
+		if _, ok := r.ready[st.ID]; ok {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// refreshReady moves stages whose predecessors are all settled into the
+// ready set (Alg. 1, lines 13–15, maintained incrementally).
+func (r *Run) refreshReady() {
+	for _, st := range r.plan.Stages {
+		if r.executed[st.ID] || r.skipped[st.ID] {
+			continue
+		}
+		if _, already := r.ready[st.ID]; already {
+			continue
+		}
+		if !r.predsSettled(st) {
+			continue
+		}
+		if st.IsChoose() && r.allPredsSkipped(st) {
+			// A choose whose branches were all pruned cannot execute.
+			r.skipStage(st, r.now)
+			continue
+		}
+		r.ready[st.ID] = st
+	}
+}
+
+func (r *Run) predsSettled(st *graph.Stage) bool {
+	for _, pre := range r.plan.Pre(st) {
+		if !r.executed[pre.ID] && !r.skipped[pre.ID] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Run) allPredsSkipped(st *graph.Stage) bool {
+	for _, pre := range r.plan.Pre(st) {
+		if !r.skipped[pre.ID] {
+			return false
+		}
+	}
+	return true
+}
+
+// readyTime returns the virtual time at which the stage may start.
+func (r *Run) readyTime(st *graph.Stage) float64 {
+	t := r.start
+	for _, pre := range r.plan.Pre(st) {
+		if e, ok := r.stageEnd[pre.ID]; ok && e > t {
+			t = e
+		}
+	}
+	return t
+}
+
+// registerOutput records a produced dataset and its consumer count.
+func (r *Run) registerOutput(st *graph.Stage, d *dataset.Dataset) {
+	r.stageOut[st.ID] = d
+	consumers := 0
+	for _, post := range r.plan.Post(st) {
+		if !r.skipped[post.ID] {
+			consumers++
+		}
+	}
+	if _, known := r.datasets[d.ID]; !known {
+		r.datasets[d.ID] = d
+		r.liveCount++
+	}
+	if len(r.plan.Post(st)) == 0 {
+		// Sink outputs stay live until the end of the job.
+		r.protectedIDs[d.ID] = true
+	}
+	r.consumersLeft[d.ID] += consumers
+	if r.opts.PinReused && r.consumersLeft[d.ID] > 1 {
+		for i := range d.Parts {
+			r.allocs[i%len(r.allocs)].Pin(d.Key(i))
+		}
+	}
+	if r.liveCount > r.metrics.PeakLiveDatasets {
+		r.metrics.PeakLiveDatasets = r.liveCount
+	}
+}
+
+func (r *Run) protected(id dataset.ID) bool { return r.protectedIDs[id] }
+
+// consumeInput decrements a dataset's remaining consumers, discarding it
+// when no consumer remains (R3).
+func (r *Run) consumeInput(d *dataset.Dataset) {
+	if _, live := r.datasets[d.ID]; !live {
+		return
+	}
+	r.consumersLeft[d.ID]--
+	if r.consumersLeft[d.ID] <= 0 && !r.protected(d.ID) {
+		r.discardDataset(d)
+	}
+}
+
+func (r *Run) discardDataset(d *dataset.Dataset) {
+	if _, live := r.datasets[d.ID]; !live {
+		return
+	}
+	delete(r.datasets, d.ID)
+	delete(r.consumersLeft, d.ID)
+	r.liveCount--
+	r.metrics.DatasetsDiscarded++
+	for i := range d.Parts {
+		key := d.Key(i)
+		r.allocs[i%len(r.allocs)].Discard(key)
+	}
+}

@@ -1,0 +1,225 @@
+package engine_test
+
+import (
+	"testing"
+
+	"metadataflow/internal/cluster"
+	"metadataflow/internal/dataset"
+	"metadataflow/internal/engine"
+	"metadataflow/internal/graph"
+	"metadataflow/internal/mdf"
+	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/scheduler"
+)
+
+func testCluster(memPerWorker int64) *cluster.Cluster {
+	cfg := cluster.DefaultConfig()
+	cfg.Workers = 4
+	cfg.MemPerWorker = memPerWorker
+	return cluster.MustNew(cfg)
+}
+
+func intRows(n int) []dataset.Row {
+	rows := make([]dataset.Row, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+// buildFilterMDF explores three filter thresholds and keeps the branch whose
+// output is smallest but non-empty, via min over sizes with a floor.
+func buildFilterMDF(t *testing.T, sel mdf.Selector, eval mdf.Evaluator) *graph.Graph {
+	t.Helper()
+	b := mdf.NewBuilder()
+	src := b.Source("src", mdf.SourceFunc(func() *dataset.Dataset {
+		return dataset.FromRows("input", intRows(1000), 4, 1<<20)
+	}), 0.001)
+	specs := []mdf.BranchSpec{
+		{Label: "limit=100", Hint: 100},
+		{Label: "limit=500", Hint: 500},
+		{Label: "limit=900", Hint: 900},
+	}
+	chooser := mdf.NewChooser(eval, sel)
+	out := src.Explore("limits", specs, chooser, func(start *mdf.Node, spec mdf.BranchSpec) *mdf.Node {
+		limit := int(spec.Hint)
+		return start.Then("filter<"+spec.Label, mdf.FilterRows("filtered", func(r dataset.Row) bool {
+			return r.(int) < limit
+		}), 0.002)
+	})
+	out.Then("sink", mdf.Identity("result"), 0.001)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func runMDF(t *testing.T, g *graph.Graph, opts engine.Options) *engine.Result {
+	t.Helper()
+	res, err := engine.Execute(g, opts)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	return res
+}
+
+func TestExecuteMinSelection(t *testing.T) {
+	g := buildFilterMDF(t, mdf.Max(), mdf.SizeEvaluator())
+	res := runMDF(t, g, engine.Options{
+		Cluster:     testCluster(1 << 30),
+		Policy:      memorymgr.AMM,
+		Scheduler:   scheduler.BAS(nil),
+		Incremental: true,
+	})
+	// Max over size selects limit=900 -> 900 rows survive the filter.
+	if got := res.Output.NumRows(); got != 900 {
+		t.Errorf("output rows = %d, want 900", got)
+	}
+	if res.CompletionTime() <= 0 {
+		t.Errorf("completion time = %v, want > 0", res.CompletionTime())
+	}
+	if res.Metrics.ChooseEvals != 3 {
+		t.Errorf("choose evals = %d, want 3", res.Metrics.ChooseEvals)
+	}
+}
+
+func TestExecuteMinPicksSmallest(t *testing.T) {
+	g := buildFilterMDF(t, mdf.Min(), mdf.SizeEvaluator())
+	res := runMDF(t, g, engine.Options{
+		Cluster:   testCluster(1 << 30),
+		Policy:    memorymgr.LRU,
+		Scheduler: scheduler.BFS(),
+	})
+	if got := res.Output.NumRows(); got != 100 {
+		t.Errorf("output rows = %d, want 100", got)
+	}
+}
+
+func TestKThresholdPrunesSuperfluousBranches(t *testing.T) {
+	// first-1 with threshold >= 50 rows: the first branch (100 rows)
+	// qualifies, so the remaining two branches must be pruned (R1b).
+	sel := mdf.KThreshold(1, 50, false)
+	g := buildFilterMDF(t, sel, mdf.SizeEvaluator())
+	res := runMDF(t, g, engine.Options{
+		Cluster:     testCluster(1 << 30),
+		Policy:      memorymgr.AMM,
+		Scheduler:   scheduler.BAS(scheduler.SortedHint(false)),
+		Incremental: true,
+	})
+	if got := res.Output.NumRows(); got != 100 {
+		t.Errorf("output rows = %d, want 100", got)
+	}
+	if res.Metrics.BranchesPruned != 2 {
+		t.Errorf("branches pruned = %d, want 2", res.Metrics.BranchesPruned)
+	}
+	if res.Metrics.ChooseEvals != 1 {
+		t.Errorf("choose evals = %d, want 1", res.Metrics.ChooseEvals)
+	}
+}
+
+func TestIncrementalDiscardsLosingBranches(t *testing.T) {
+	g := buildFilterMDF(t, mdf.Max(), mdf.SizeEvaluator())
+	res := runMDF(t, g, engine.Options{
+		Cluster:     testCluster(1 << 30),
+		Policy:      memorymgr.AMM,
+		Scheduler:   scheduler.BAS(nil),
+		Incremental: true,
+	})
+	// With max selection and incremental evaluation, at least one losing
+	// branch dataset is discarded before the choose completes (R1a); the
+	// final branch's eviction coincides with the choose itself.
+	if res.Metrics.BranchesDiscarded < 1 {
+		t.Errorf("branches discarded = %d, want >= 1", res.Metrics.BranchesDiscarded)
+	}
+}
+
+func TestHitRatioDegradesWithSmallMemory(t *testing.T) {
+	big := runMDF(t, buildFilterMDF(t, mdf.Max(), mdf.SizeEvaluator()), engine.Options{
+		Cluster: testCluster(1 << 30), Policy: memorymgr.LRU, Scheduler: scheduler.BFS(),
+	})
+	small := runMDF(t, buildFilterMDF(t, mdf.Max(), mdf.SizeEvaluator()), engine.Options{
+		Cluster: testCluster(1 << 20), Policy: memorymgr.LRU, Scheduler: scheduler.BFS(),
+	})
+	if hr := big.Metrics.Mem.HitRatio(); hr != 1 {
+		t.Errorf("big-memory hit ratio = %v, want 1", hr)
+	}
+	if hr := small.Metrics.Mem.HitRatio(); hr >= 1 {
+		t.Errorf("small-memory hit ratio = %v, want < 1", hr)
+	}
+	if small.CompletionTime() <= big.CompletionTime() {
+		t.Errorf("small-memory run (%v) should be slower than big-memory run (%v)",
+			small.CompletionTime(), big.CompletionTime())
+	}
+}
+
+func TestBASPeakLiveDatasetsAtMostBFS(t *testing.T) {
+	bas := runMDF(t, buildFilterMDF(t, mdf.Max(), mdf.SizeEvaluator()), engine.Options{
+		Cluster: testCluster(1 << 30), Policy: memorymgr.AMM,
+		Scheduler: scheduler.BAS(nil), Incremental: true,
+	})
+	bfs := runMDF(t, buildFilterMDF(t, mdf.Max(), mdf.SizeEvaluator()), engine.Options{
+		Cluster: testCluster(1 << 30), Policy: memorymgr.LRU,
+		Scheduler: scheduler.BFS(),
+	})
+	if bas.Metrics.PeakLiveDatasets > bfs.Metrics.PeakLiveDatasets {
+		t.Errorf("BAS peak live %d > BFS peak live %d (Thm 4.3)",
+			bas.Metrics.PeakLiveDatasets, bfs.Metrics.PeakLiveDatasets)
+	}
+}
+
+func TestFailureRecoveryPreservesOutput(t *testing.T) {
+	clean := runMDF(t, buildFilterMDF(t, mdf.Max(), mdf.SizeEvaluator()), engine.Options{
+		Cluster: testCluster(1 << 30), Policy: memorymgr.AMM,
+		Scheduler: scheduler.BAS(nil), Incremental: true,
+	})
+	failed := runMDF(t, buildFilterMDF(t, mdf.Max(), mdf.SizeEvaluator()), engine.Options{
+		Cluster: testCluster(1 << 30), Policy: memorymgr.AMM,
+		Scheduler: scheduler.BAS(nil), Incremental: true,
+		FailAfterStage: 3, FailNode: 1,
+	})
+	if clean.Output.NumRows() != failed.Output.NumRows() {
+		t.Errorf("failure changed output: %d vs %d rows",
+			clean.Output.NumRows(), failed.Output.NumRows())
+	}
+	if failed.CompletionTime() < clean.CompletionTime() {
+		t.Errorf("failed run (%v) should not be faster than clean run (%v)",
+			failed.CompletionTime(), clean.CompletionTime())
+	}
+}
+
+func TestStragglerSlowsCompletion(t *testing.T) {
+	c1 := testCluster(1 << 30)
+	clean := runMDF(t, buildFilterMDF(t, mdf.Max(), mdf.SizeEvaluator()), engine.Options{
+		Cluster: c1, Policy: memorymgr.AMM, Scheduler: scheduler.BAS(nil),
+	})
+	c2 := testCluster(1 << 30)
+	c2.Nodes[0].SlowFactor = 10
+	slow := runMDF(t, buildFilterMDF(t, mdf.Max(), mdf.SizeEvaluator()), engine.Options{
+		Cluster: c2, Policy: memorymgr.AMM, Scheduler: scheduler.BAS(nil),
+	})
+	if slow.CompletionTime() <= clean.CompletionTime() {
+		t.Errorf("straggler run (%v) should be slower than clean run (%v)",
+			slow.CompletionTime(), clean.CompletionTime())
+	}
+}
+
+func TestModeSelectorNotIncremental(t *testing.T) {
+	g := buildFilterMDF(t, mdf.Mode(), mdf.FuncEvaluator("const", func(d *dataset.Dataset) float64 {
+		if d.NumRows() >= 500 {
+			return 1 // two branches score 1 -> mode
+		}
+		return 0
+	}))
+	res := runMDF(t, g, engine.Options{
+		Cluster: testCluster(1 << 30), Policy: memorymgr.AMM,
+		Scheduler: scheduler.BAS(nil), Incremental: true,
+	})
+	// Mode selects the two branches scoring 1: 500 + 900 rows concatenated.
+	if got := res.Output.NumRows(); got != 1400 {
+		t.Errorf("output rows = %d, want 1400", got)
+	}
+	if res.Metrics.BranchesPruned != 0 {
+		t.Errorf("mode must not prune branches, pruned %d", res.Metrics.BranchesPruned)
+	}
+}

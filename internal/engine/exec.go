@@ -1,0 +1,281 @@
+package engine
+
+import (
+	"fmt"
+
+	"metadataflow/internal/dataset"
+	"metadataflow/internal/graph"
+)
+
+// orderAware matches sessions whose property-based pruning requires the
+// scheduler to execute branches in sorted explorable order (Tab. 1).
+type orderAware interface {
+	SetSortedOrder(sorted bool)
+}
+
+const bytesPerMB = 1e6
+
+// execStage executes a non-choose stage: it loads the inputs through the
+// memory allocators, applies the pipelined operator chain for real, charges
+// the virtual compute cost, and stores the output partitions.
+func (r *Run) execStage(st *graph.Stage) error {
+	ready := r.readyTime(st)
+
+	// Explore operators simply forward their input (Def. 3.2); they incur
+	// no computation or I/O.
+	if st.IsExplore() {
+		ins := r.inputs(st)
+		if len(ins) != 1 || ins[0] == nil {
+			return fmt.Errorf("engine: explore %s without input", st)
+		}
+		d := ins[0]
+		r.registerOutput(st, d)
+		r.consumeForward(d)
+		r.markExecuted(st, ready)
+		r.trace(EventStage, st.String(), ready, ready)
+		return nil
+	}
+
+	ins := r.inputs(st)
+	for i, d := range ins {
+		if d == nil {
+			return fmt.Errorf("engine: stage %s input %d missing", st, i)
+		}
+	}
+
+	nodeT := r.loadInputs(ins, ready)
+	r.chargeShuffle(st, ins, nodeT)
+
+	// Apply the operator chain for real, accumulating virtual compute cost.
+	// Fixed costs model inherently data-parallel work (e.g. a training
+	// epoch) and spread evenly across workers; per-MB costs follow the
+	// placement of the input bytes.
+	cur := ins
+	var cpuFixed, cpuScan float64
+	var externalBytes int64
+	for _, op := range st.Ops {
+		inBytes := int64(0)
+		for _, d := range cur {
+			inBytes += d.VirtualBytes()
+		}
+		out, err := op.Transform(cur)
+		if err != nil {
+			return fmt.Errorf("engine: stage %s op %q: %w", st, op.Name, err)
+		}
+		if out == nil {
+			return fmt.Errorf("engine: stage %s op %q returned nil dataset", st, op.Name)
+		}
+		if op.Kind == graph.KindSource {
+			// Reading the external input charges a disk scan (§6.1: "it
+			// requires a linear scan over the entire dataset").
+			externalBytes += out.VirtualBytes()
+			inBytes = out.VirtualBytes()
+		}
+		cpuFixed += op.FixedCost
+		cpuScan += op.CostPerMB * float64(inBytes) / bytesPerMB
+		cur = []*dataset.Dataset{out}
+	}
+	out := cur[0]
+
+	if externalBytes > 0 {
+		per := externalBytes / int64(len(r.allocs))
+		for n := range r.allocs {
+			end := r.opts.Cluster.Nodes[n].Disk(nodeT[n], r.opts.Cluster.Config.DiskReadSec(per))
+			nodeT[n] = end
+		}
+	}
+
+	r.chargeCompute(ins, cpuFixed, cpuScan, nodeT)
+	end := r.storeOutput(out, nodeT)
+
+	for _, d := range ins {
+		r.consumeInput(d)
+	}
+	r.registerOutput(st, out)
+	r.markExecuted(st, end)
+	r.trace(EventStage, st.String(), ready, end)
+
+	// Incremental choose evaluation (§3.1): if this stage completes a
+	// branch of an associative choose, score it immediately.
+	if r.opts.Incremental {
+		for _, post := range r.plan.Post(st) {
+			if post.IsChoose() && post.Ops[0].Chooser.Associative() {
+				if err := r.evalBranchOf(post, st); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// inputs returns the datasets of the stage's predecessors in edge order
+// (nil entries for skipped predecessors).
+func (r *Run) inputs(st *graph.Stage) []*dataset.Dataset {
+	pres := r.plan.Pre(st)
+	out := make([]*dataset.Dataset, len(pres))
+	for i, pre := range pres {
+		out[i] = r.stageOut[pre.ID]
+	}
+	return out
+}
+
+// loadInputs charges the access cost of every input partition and returns
+// the per-node time cursors.
+func (r *Run) loadInputs(ins []*dataset.Dataset, ready float64) []float64 {
+	nodeT := make([]float64, len(r.allocs))
+	for i := range nodeT {
+		nodeT[i] = ready
+	}
+	for _, d := range ins {
+		if d == nil {
+			continue
+		}
+		for i := range d.Parts {
+			n := i % len(r.allocs)
+			end, _, err := r.allocs[n].Access(d.Key(i), nodeT[n])
+			if err == nil && end > nodeT[n] {
+				nodeT[n] = end
+			}
+		}
+	}
+	return nodeT
+}
+
+// chargeShuffle charges the network cost of wide input dependencies: each
+// worker ships the (W-1)/W share of its partitions that other workers'
+// tasks consume (App. A wide dependencies; the testbed's 1 Gbps links).
+func (r *Run) chargeShuffle(st *graph.Stage, ins []*dataset.Dataset, nodeT []float64) {
+	w := len(r.allocs)
+	if w <= 1 {
+		return
+	}
+	first := st.First()
+	for i, pre := range r.plan.Pre(st) {
+		d := ins[i]
+		if d == nil {
+			continue
+		}
+		dep, ok := r.plan.Graph.Dep(pre.Last(), first)
+		if !ok || dep != graph.Wide {
+			continue
+		}
+		perNode := make([]int64, w)
+		for pi, p := range d.Parts {
+			perNode[pi%w] += p.VirtualBytes
+		}
+		for n, bytes := range perNode {
+			if bytes == 0 {
+				continue
+			}
+			moved := bytes * int64(w-1) / int64(w)
+			end := r.opts.Cluster.Nodes[n].Net(nodeT[n], r.opts.Cluster.Config.NetSec(moved))
+			if end > nodeT[n] {
+				nodeT[n] = end
+			}
+		}
+	}
+}
+
+// chargeCompute advances the node cursors by the stage's compute cost:
+// fixed cost spreads evenly over all workers (data-parallel work), scan cost
+// follows each node's share of the input bytes.
+func (r *Run) chargeCompute(ins []*dataset.Dataset, cpuFixed, cpuScan float64, nodeT []float64) {
+	if cpuFixed <= 0 && cpuScan <= 0 {
+		return
+	}
+	scale := r.opts.Cluster.Config.ComputeScale
+	cpuFixed *= scale
+	cpuScan *= scale
+	r.metrics.ComputeSec += cpuFixed + cpuScan
+	shares := make([]float64, len(r.allocs))
+	var total float64
+	for _, d := range ins {
+		if d == nil {
+			continue
+		}
+		for i, p := range d.Parts {
+			shares[i%len(r.allocs)] += float64(p.VirtualBytes)
+			total += float64(p.VirtualBytes)
+		}
+	}
+	if total == 0 {
+		for n := range shares {
+			shares[n] = 1
+			total++
+		}
+	}
+	if r.opts.Speculative {
+		// Speculative re-execution rebalances compute by node speed: a
+		// node's share is proportional to its capacity 1/SlowFactor, so a
+		// straggler no longer gates the stage (§5 straggler mitigation).
+		var capTotal float64
+		caps := make([]float64, len(r.allocs))
+		for n := range r.allocs {
+			sf := r.opts.Cluster.Nodes[n].SlowFactor
+			if sf < 1 {
+				sf = 1
+			}
+			caps[n] = 1 / sf
+			capTotal += caps[n]
+		}
+		work := cpuFixed + cpuScan
+		for n := range r.allocs {
+			dur := work * caps[n] / capTotal
+			if dur <= 0 {
+				continue
+			}
+			nodeT[n] = r.opts.Cluster.Nodes[n].CPU(nodeT[n], dur)
+		}
+		return
+	}
+	perNodeFixed := cpuFixed / float64(len(r.allocs))
+	for n := range r.allocs {
+		dur := perNodeFixed + cpuScan*shares[n]/total
+		if dur <= 0 {
+			continue
+		}
+		end := r.opts.Cluster.Nodes[n].CPU(nodeT[n], dur)
+		nodeT[n] = end
+	}
+}
+
+// storeOutput writes the output partitions to their nodes and returns the
+// stage completion time.
+func (r *Run) storeOutput(out *dataset.Dataset, nodeT []float64) float64 {
+	for i, p := range out.Parts {
+		n := i % len(r.allocs)
+		end := r.allocs[n].Put(out.Key(i), p.VirtualBytes, nodeT[n])
+		if end > nodeT[n] {
+			nodeT[n] = end
+		}
+	}
+	end := 0.0
+	for _, t := range nodeT {
+		if t > end {
+			end = t
+		}
+	}
+	return end
+}
+
+func (r *Run) markExecuted(st *graph.Stage, end float64) {
+	r.executed[st.ID] = true
+	r.stageEnd[st.ID] = end
+	if end > r.now {
+		r.now = end
+	}
+}
+
+// consumeForward adjusts consumer accounting when a stage forwards its input
+// dataset unchanged (explore, single-selection choose): the forwarding read
+// is replaced by the new consumers registered by registerOutput.
+func (r *Run) consumeForward(d *dataset.Dataset) {
+	if _, live := r.datasets[d.ID]; !live {
+		return
+	}
+	r.consumersLeft[d.ID]--
+	if r.consumersLeft[d.ID] <= 0 && !r.protected(d.ID) {
+		r.discardDataset(d)
+	}
+}

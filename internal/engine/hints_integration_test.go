@@ -1,0 +1,92 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"metadataflow/internal/dataset"
+	"metadataflow/internal/engine"
+	"metadataflow/internal/graph"
+	"metadataflow/internal/mdf"
+	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/scheduler"
+)
+
+// buildConvexMDF builds an MDF whose branch quality is concave over the
+// hint: branch h keeps 1000 - 60·|h-8| rows of a 1000-row input, peaking at
+// h=8. The selector keeps the first branch with >= 990 rows, which only the
+// peak satisfies.
+func buildConvexMDF(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := mdf.NewBuilder()
+	src := b.Source("src", mdf.SourceFunc(func() *dataset.Dataset {
+		return dataset.FromRows("in", intRows(1000), 4, 1<<18)
+	}), 0.001)
+	specs := make([]mdf.BranchSpec, 17)
+	for i := range specs {
+		specs[i] = mdf.BranchSpec{Label: fmt.Sprintf("h=%d", i), Hint: float64(i)}
+	}
+	chooser := mdf.NewChooser(mdf.SizeEvaluator(), mdf.KThreshold(1, 990, false))
+	out := src.Explore("convex", specs, chooser,
+		func(start *mdf.Node, spec mdf.BranchSpec) *mdf.Node {
+			h := int(spec.Hint)
+			dist := h - 8
+			if dist < 0 {
+				dist = -dist
+			}
+			keep := 1000 - 60*dist
+			return start.Then("f"+spec.Label, mdf.FilterRows("f", func(r dataset.Row) bool {
+				return r.(int) < keep
+			}), 0.002)
+		})
+	out.Then("sink", mdf.Identity("result"), 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func evalsWith(t *testing.T, g *graph.Graph, pol scheduler.Policy) int {
+	t.Helper()
+	res, err := engine.Execute(g, engine.Options{
+		Cluster:     testCluster(1 << 30),
+		Policy:      memorymgr.AMM,
+		Scheduler:   pol,
+		Incremental: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.NumRows() != 1000 {
+		t.Fatalf("wrong branch selected: %d rows, want 1000", res.Output.NumRows())
+	}
+	return res.Metrics.ChooseEvals
+}
+
+// TestBinarySearchHintConverges: probing via a convex-aware bracket search
+// finds the only qualifying branch in far fewer evaluator invocations than
+// definition order (§4.2(i): "binary search" over a convex evaluator).
+func TestBinarySearchHintConverges(t *testing.T) {
+	defOrder := evalsWith(t, buildConvexMDF(t), scheduler.BAS(nil))
+	binSearch := evalsWith(t, buildConvexMDF(t), scheduler.BAS(scheduler.BinarySearchHint(true)))
+	if defOrder != 9 {
+		t.Errorf("definition order evals = %d, want 9 (branches 0..8)", defOrder)
+	}
+	if binSearch >= defOrder {
+		t.Errorf("binary-search evals = %d, want < %d", binSearch, defOrder)
+	}
+	if binSearch > 5 {
+		t.Errorf("binary-search evals = %d, want <= 5 (extremes + bracketing)", binSearch)
+	}
+}
+
+// TestModelHintConverges: the quadratic-regression hint also beats
+// definition order on a concave landscape (§4.2(iii)).
+func TestModelHintConverges(t *testing.T) {
+	defOrder := evalsWith(t, buildConvexMDF(t), scheduler.BAS(nil))
+	model := evalsWith(t, buildConvexMDF(t), scheduler.BAS(scheduler.ModelHint(true)))
+	if model >= defOrder {
+		t.Errorf("model-hint evals = %d, want < %d", model, defOrder)
+	}
+}

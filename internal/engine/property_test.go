@@ -1,0 +1,222 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"metadataflow/internal/cluster"
+	"metadataflow/internal/dataset"
+	"metadataflow/internal/engine"
+	"metadataflow/internal/graph"
+	"metadataflow/internal/mdf"
+	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/scheduler"
+	"metadataflow/internal/stats"
+)
+
+// randomMDF generates a random well-formed MDF: a pipeline of 1-3 scopes,
+// each with 2-5 branches of 1-3 chained filters, nesting one extra scope
+// inside a random branch with probability 1/2.
+func randomMDF(t *testing.T, rng *stats.RNG) *graph.Graph {
+	t.Helper()
+	b := mdf.NewBuilder()
+	rows := make([]dataset.Row, 512)
+	for i := range rows {
+		rows[i] = i
+	}
+	node := b.Source("src", mdf.SourceFunc(func() *dataset.Dataset {
+		return dataset.FromRows("in", rows, 4, 1<<18)
+	}), 0.001)
+
+	scopes := rng.Intn(3) + 1
+	var addScope func(n *mdf.Node, depth int, id string) *mdf.Node
+	addScope = func(n *mdf.Node, depth int, id string) *mdf.Node {
+		branches := rng.Intn(4) + 2
+		specs := make([]mdf.BranchSpec, branches)
+		for i := range specs {
+			specs[i] = mdf.BranchSpec{Label: fmt.Sprintf("%s-b%d", id, i), Hint: float64(i)}
+		}
+		nestIn := -1
+		if depth < 2 && rng.Float64() < 0.5 {
+			nestIn = rng.Intn(branches)
+		}
+		chainLens := make([]int, branches)
+		for i := range chainLens {
+			chainLens[i] = rng.Intn(3) + 1
+		}
+		return n.Explore("explore-"+id, specs,
+			mdf.NewChooser(mdf.SizeEvaluator(), mdf.Max()),
+			func(start *mdf.Node, spec mdf.BranchSpec) *mdf.Node {
+				bi := int(spec.Hint)
+				cur := start
+				for c := 0; c < chainLens[bi]; c++ {
+					keep := 64 + (bi*37+c*11)%400
+					cur = cur.Then(fmt.Sprintf("%s-f%d", spec.Label, c),
+						mdf.FilterRows("f", func(r dataset.Row) bool {
+							return r.(int) < keep
+						}), 0.001)
+				}
+				if bi == nestIn {
+					cur = addScope(cur, depth+1, id+"n")
+				}
+				return cur
+			})
+	}
+	for s := 0; s < scopes; s++ {
+		node = addScope(node, 0, fmt.Sprintf("s%d", s))
+	}
+	node.Then("sink", mdf.Identity("out"), 0.001)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("random MDF invalid: %v", err)
+	}
+	return g
+}
+
+func runWith(t *testing.T, g *graph.Graph, sched scheduler.Policy, incremental bool) *engine.Result {
+	t.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.Workers = 4
+	cfg.MemPerWorker = 1 << 30
+	res, err := engine.Execute(g, engine.Options{
+		Cluster:     cluster.MustNew(cfg),
+		Policy:      memorymgr.AMM,
+		Scheduler:   sched,
+		Incremental: incremental,
+	})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	return res
+}
+
+// TestTheorem43OnRandomMDFs checks the practical consequence of Thm. 4.3
+// over randomly generated MDFs: the peak number of live datasets under
+// branch-aware scheduling never exceeds the peak under breadth-first
+// scheduling, and both produce the same result.
+func TestTheorem43OnRandomMDFs(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := stats.NewRNG(seed)
+		g := randomMDF(t, rng)
+		bas := runWith(t, g, scheduler.BAS(nil), false)
+		bfs := runWith(t, g, scheduler.BFS(), false)
+		if bas.Metrics.PeakLiveDatasets > bfs.Metrics.PeakLiveDatasets {
+			t.Errorf("seed %d: BAS peak live %d > BFS peak live %d",
+				seed, bas.Metrics.PeakLiveDatasets, bfs.Metrics.PeakLiveDatasets)
+		}
+		if bas.Output.NumRows() != bfs.Output.NumRows() {
+			t.Errorf("seed %d: schedulers disagree on output: %d vs %d rows",
+				seed, bas.Output.NumRows(), bfs.Output.NumRows())
+		}
+	}
+}
+
+// TestSchedulerOutputEquivalence: every scheduler/hint/incremental
+// combination must produce the same selected result for exhaustive
+// selectors (scheduling must not change semantics).
+func TestSchedulerOutputEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		rng := stats.NewRNG(seed * 100)
+		g := randomMDF(t, rng)
+		ref := runWith(t, g, scheduler.BFS(), false)
+		for name, sched := range map[string]scheduler.Policy{
+			"bas":        scheduler.BAS(nil),
+			"bas-sorted": scheduler.BAS(scheduler.SortedHint(false)),
+			"bas-random": scheduler.BAS(scheduler.RandomHint(seed)),
+		} {
+			for _, incr := range []bool{false, true} {
+				got := runWith(t, g, sched, incr)
+				if got.Output.NumRows() != ref.Output.NumRows() {
+					t.Errorf("seed %d %s/incr=%v: output %d rows, BFS got %d",
+						seed, name, incr, got.Output.NumRows(), ref.Output.NumRows())
+				}
+			}
+		}
+	}
+}
+
+// TestDeterminism: identical configurations give identical virtual times.
+func TestDeterminism(t *testing.T) {
+	rng1 := stats.NewRNG(7)
+	g1 := randomMDF(t, rng1)
+	a := runWith(t, g1, scheduler.BAS(nil), true)
+	rng2 := stats.NewRNG(7)
+	g2 := randomMDF(t, rng2)
+	b := runWith(t, g2, scheduler.BAS(nil), true)
+	if a.CompletionTime() != b.CompletionTime() {
+		t.Errorf("completion times differ across identical runs: %v vs %v",
+			a.CompletionTime(), b.CompletionTime())
+	}
+	if a.Metrics.Mem.Hits != b.Metrics.Mem.Hits {
+		t.Errorf("hit counts differ: %d vs %d", a.Metrics.Mem.Hits, b.Metrics.Mem.Hits)
+	}
+}
+
+// TestAllStagesSettled: after a run, every stage is either executed or
+// pruned, and pruning only happens below non-exhaustive or property-pruned
+// chooses.
+func TestAllStagesSettled(t *testing.T) {
+	for seed := int64(50); seed <= 60; seed++ {
+		rng := stats.NewRNG(seed)
+		g := randomMDF(t, rng)
+		plan, err := graph.BuildPlan(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := cluster.DefaultConfig()
+		cfg.Workers = 4
+		run, err := engine.NewRun(plan, engine.Options{
+			Cluster:     cluster.MustNew(cfg),
+			Policy:      memorymgr.AMM,
+			Scheduler:   scheduler.BAS(nil),
+			Incremental: true,
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := run.RunToCompletion(); err != nil {
+			t.Fatal(err)
+		}
+		res := run.Result()
+		if res.Metrics.StagesExecuted+res.Metrics.StagesPruned != len(plan.Stages) {
+			t.Errorf("seed %d: %d executed + %d pruned != %d stages", seed,
+				res.Metrics.StagesExecuted, res.Metrics.StagesPruned, len(plan.Stages))
+		}
+		// Max is exhaustive: no branches may be pruned here.
+		if res.Metrics.BranchesPruned != 0 {
+			t.Errorf("seed %d: exhaustive choose pruned %d branches", seed,
+				res.Metrics.BranchesPruned)
+		}
+	}
+}
+
+// TestMetricsConservation: across random MDFs, accounting identities hold —
+// every access is a hit or a miss, byte counters match their access kinds,
+// and discarded datasets never exceed those produced.
+func TestMetricsConservation(t *testing.T) {
+	for seed := int64(70); seed <= 85; seed++ {
+		rng := stats.NewRNG(seed)
+		g := randomMDF(t, rng)
+		res := runWith(t, g, scheduler.BAS(nil), true)
+		m := res.Metrics.Mem
+		if m.Misses == 0 && m.BytesFromDisk != 0 {
+			t.Errorf("seed %d: disk bytes without misses", seed)
+		}
+		if m.Hits == 0 && m.BytesFromMem != 0 {
+			t.Errorf("seed %d: memory bytes without hits", seed)
+		}
+		if m.SpilledBytes > 0 && m.Evictions == 0 {
+			t.Errorf("seed %d: spilled bytes without evictions", seed)
+		}
+		if res.Metrics.DatasetsDiscarded < 0 ||
+			res.Metrics.PeakLiveDatasets < 1 {
+			t.Errorf("seed %d: implausible dataset accounting: %+v", seed, res.Metrics)
+		}
+		if res.Metrics.ComputeSec <= 0 {
+			t.Errorf("seed %d: no compute charged", seed)
+		}
+		if res.End < res.Start {
+			t.Errorf("seed %d: negative span", seed)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"metadataflow/internal/dataset"
+)
+
+// The paper's execution model breaks a job into compute tasks — pairs of
+// operators and data partitions executed by workers (§2.1). The engine
+// accounts work per (stage, node); this file surfaces that accounting as an
+// explicit task report for inspection and tooling.
+
+// TaskReport summarises the work one worker performed for one stage.
+type TaskReport struct {
+	// Stage is the stage's display label.
+	Stage string
+	// Node is the worker index.
+	Node int
+	// Partitions is the number of input partitions the worker processed.
+	Partitions int
+	// InputBytes is the accounted input volume.
+	InputBytes int64
+}
+
+// TaskBreakdown derives the per-worker task list of a stage from its input
+// datasets and the cluster's round-robin placement; the scheduler hands one
+// such task per (operator chain, partition) to each worker.
+func TaskBreakdown(stageLabel string, workers int, ins []*dataset.Dataset) []TaskReport {
+	if workers < 1 {
+		return nil
+	}
+	parts := make([]int, workers)
+	bytes := make([]int64, workers)
+	for _, d := range ins {
+		if d == nil {
+			continue
+		}
+		for i, p := range d.Parts {
+			n := i % workers
+			parts[n]++
+			bytes[n] += p.VirtualBytes
+		}
+	}
+	out := make([]TaskReport, 0, workers)
+	for n := 0; n < workers; n++ {
+		if parts[n] == 0 {
+			continue
+		}
+		out = append(out, TaskReport{
+			Stage: stageLabel, Node: n,
+			Partitions: parts[n], InputBytes: bytes[n],
+		})
+	}
+	return out
+}
+
+// SpillEntry reports the spill volume attributed to one dataset.
+type SpillEntry struct {
+	Dataset dataset.ID
+	Bytes   int64
+}
+
+// SpillReport aggregates per-dataset spill volumes across the run's
+// allocators and returns the top offenders, largest first — the datasets a
+// user would pin or restructure around.
+func (r *Run) SpillReport(top int) []SpillEntry {
+	byDataset := map[dataset.ID]int64{}
+	for _, a := range r.allocs {
+		for key, bytes := range a.SpilledByPartition() {
+			byDataset[key.Dataset] += bytes
+		}
+	}
+	out := make([]SpillEntry, 0, len(byDataset))
+	for id, b := range byDataset {
+		out = append(out, SpillEntry{Dataset: id, Bytes: b})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Dataset < out[j].Dataset
+	})
+	if top > 0 && len(out) > top {
+		out = out[:top]
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (e SpillEntry) String() string {
+	return fmt.Sprintf("dataset %d: %d bytes spilled", e.Dataset, e.Bytes)
+}

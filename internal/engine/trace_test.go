@@ -1,0 +1,179 @@
+package engine_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"metadataflow/internal/dataset"
+	"metadataflow/internal/engine"
+	"metadataflow/internal/graph"
+	"metadataflow/internal/mdf"
+	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/scheduler"
+)
+
+func executeTraced(t *testing.T, g *graph.Graph, opts engine.Options) *engine.Result {
+	t.Helper()
+	plan, err := graph.BuildPlan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := engine.NewRun(plan, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run.RunToCompletion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTimelineRecorded(t *testing.T) {
+	g := buildFilterMDF(t, mdf.Max(), mdf.SizeEvaluator())
+	res := executeTraced(t, g, engine.Options{
+		Cluster: testCluster(1 << 30), Policy: memorymgr.AMM,
+		Scheduler: scheduler.BAS(nil), Incremental: true, Trace: true,
+	})
+	if len(res.Timeline) == 0 {
+		t.Fatal("no timeline recorded with Trace on")
+	}
+	kinds := map[engine.EventKind]int{}
+	for _, ev := range res.Timeline {
+		kinds[ev.Kind]++
+		if ev.End < ev.Start {
+			t.Errorf("event %s ends before it starts: %v < %v", ev.Stage, ev.End, ev.Start)
+		}
+	}
+	if kinds[engine.EventStage] == 0 || kinds[engine.EventChooseEval] != 3 || kinds[engine.EventChoose] != 1 {
+		t.Errorf("unexpected event mix: %v", kinds)
+	}
+}
+
+func TestTimelineOffByDefault(t *testing.T) {
+	g := buildFilterMDF(t, mdf.Max(), mdf.SizeEvaluator())
+	res := executeTraced(t, g, engine.Options{
+		Cluster: testCluster(1 << 30), Policy: memorymgr.AMM,
+		Scheduler: scheduler.BAS(nil),
+	})
+	if res.Timeline != nil {
+		t.Fatal("timeline recorded without Trace")
+	}
+}
+
+func TestTimelineRecordsPruning(t *testing.T) {
+	g := buildFilterMDF(t, mdf.KThreshold(1, 50, false), mdf.SizeEvaluator())
+	res := executeTraced(t, g, engine.Options{
+		Cluster: testCluster(1 << 30), Policy: memorymgr.AMM,
+		Scheduler: scheduler.BAS(nil), Incremental: true, Trace: true,
+	})
+	pruned := 0
+	for _, ev := range res.Timeline {
+		if ev.Kind == engine.EventPruned {
+			pruned++
+			if ev.Start != ev.End {
+				t.Error("pruning events must be instantaneous")
+			}
+		}
+	}
+	if pruned != 2 {
+		t.Errorf("pruned events = %d, want 2", pruned)
+	}
+}
+
+// TestWideDependencyChargesShuffle: a wide dependency moves (W-1)/W of the
+// data over the network, so the same pipeline with a wide boundary takes
+// longer than with a narrow one.
+func TestWideDependencyChargesShuffle(t *testing.T) {
+	build := func(wide bool) *graph.Graph {
+		b := mdf.NewBuilder()
+		src := b.Source("src", mdf.SourceFunc(func() *dataset.Dataset {
+			d := dataset.FromRows("in", intRows(1000), 4, 1<<20)
+			d.SetVirtualBytes(4 << 30)
+			return d
+		}), 0.001)
+		var next *mdf.Node
+		if wide {
+			next = src.ThenWide("groupby", mdf.Identity("g"), 0.001)
+		} else {
+			next = src.Then("map", mdf.Identity("g"), 0.001)
+		}
+		next.Then("sink", mdf.Identity("out"), 0.001)
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	opts := func() engine.Options {
+		return engine.Options{
+			Cluster: testCluster(16 << 30), Policy: memorymgr.LRU,
+			Scheduler: scheduler.BFS(),
+		}
+	}
+	narrow, err := engine.Execute(build(false), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := engine.Execute(build(true), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.CompletionTime() <= narrow.CompletionTime() {
+		t.Errorf("wide dependency (%0.2fs) should cost more than narrow (%0.2fs)",
+			wide.CompletionTime(), narrow.CompletionTime())
+	}
+	// Expected shuffle time: 3/4 of each worker's 1 GB share at 1 Gbps.
+	cfg := testCluster(1).Config
+	expected := cfg.NetSec(int64(float64(1<<30) * 0.75))
+	gap := wide.CompletionTime() - narrow.CompletionTime()
+	if gap < expected*0.5 || gap > expected*2 {
+		t.Errorf("shuffle gap = %0.2fs, expected around %0.2fs", gap, expected)
+	}
+}
+
+func TestTraceFormatters(t *testing.T) {
+	g := buildFilterMDF(t, mdf.Max(), mdf.SizeEvaluator())
+	res := executeTraced(t, g, engine.Options{
+		Cluster: testCluster(1 << 30), Policy: memorymgr.AMM,
+		Scheduler: scheduler.BAS(nil), Incremental: true, Trace: true,
+	})
+	var text strings.Builder
+	if err := engine.WriteText(&text, res.Timeline); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "stage") || !strings.Contains(text.String(), "eval") {
+		t.Errorf("text timeline missing content:\n%s", text.String())
+	}
+	var buf bytes.Buffer
+	if err := engine.WriteChromeTrace(&buf, res.Timeline); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			Ts    float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(res.Timeline) {
+		t.Errorf("chrome events = %d, want %d", len(doc.TraceEvents), len(res.Timeline))
+	}
+	summary := engine.SummarizeTimeline(res.Timeline)
+	if !strings.Contains(summary, "stage") {
+		t.Errorf("summary missing stage line:\n%s", summary)
+	}
+	// Empty timeline renders a placeholder, not an error.
+	var empty strings.Builder
+	if err := engine.WriteText(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() == 0 {
+		t.Error("empty timeline should render a note")
+	}
+}

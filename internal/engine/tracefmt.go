@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file renders execution timelines for humans and tools: a plain-text
+// Gantt view for terminals and the Chrome Trace Event Format (the JSON
+// consumed by chrome://tracing and https://ui.perfetto.dev) for interactive
+// inspection.
+
+// WriteText renders the timeline as an aligned text table.
+func WriteText(w io.Writer, timeline []StageEvent) error {
+	if len(timeline) == 0 {
+		_, err := fmt.Fprintln(w, "(empty timeline; run with tracing enabled)")
+		return err
+	}
+	width := len("stage")
+	for _, ev := range timeline {
+		if len(ev.Stage) > width {
+			width = len(ev.Stage)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10s  %10s  %-7s %-*s\n", "start", "end", "kind", width, "stage"); err != nil {
+		return err
+	}
+	for _, ev := range timeline {
+		if _, err := fmt.Fprintf(w, "%10.2f  %10.2f  %-7s %-*s\n",
+			ev.Start, ev.End, ev.Kind, width, ev.Stage); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome Trace Event Format.
+type chromeEvent struct {
+	Name  string `json:"name"`
+	Cat   string `json:"cat"`
+	Phase string `json:"ph"`
+	// Ts and Dur are in microseconds; we map one virtual second to one
+	// millisecond so traces of thousand-second jobs stay navigable.
+	Ts  float64 `json:"ts"`
+	Dur float64 `json:"dur,omitempty"`
+	Pid int     `json:"pid"`
+	Tid int     `json:"tid"`
+}
+
+// WriteChromeTrace renders the timeline in Chrome Trace Event Format.
+// Events of each kind go to their own track (tid), instantaneous pruning
+// decisions become instant events.
+func WriteChromeTrace(w io.Writer, timeline []StageEvent) error {
+	const usPerVirtualSecond = 1000.0
+	tids := map[EventKind]int{
+		EventStage:      1,
+		EventChooseEval: 2,
+		EventChoose:     3,
+		EventPruned:     4,
+	}
+	events := make([]chromeEvent, 0, len(timeline))
+	for _, ev := range timeline {
+		ce := chromeEvent{
+			Name: ev.Stage,
+			Cat:  ev.Kind.String(),
+			Ts:   ev.Start * usPerVirtualSecond,
+			Pid:  1,
+			Tid:  tids[ev.Kind],
+		}
+		if ev.End > ev.Start {
+			ce.Phase = "X" // complete event
+			ce.Dur = (ev.End - ev.Start) * usPerVirtualSecond
+		} else {
+			ce.Phase = "i" // instant event
+		}
+		events = append(events, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+		"otherData": map[string]string{
+			"note": "1 ms of trace time = 1 virtual cluster second",
+		},
+	})
+}
+
+// SummarizeTimeline aggregates the timeline into per-kind totals, a quick
+// profile of where virtual time went.
+func SummarizeTimeline(timeline []StageEvent) string {
+	totals := map[EventKind]float64{}
+	counts := map[EventKind]int{}
+	for _, ev := range timeline {
+		totals[ev.Kind] += ev.End - ev.Start
+		counts[ev.Kind]++
+	}
+	var b strings.Builder
+	for _, k := range []EventKind{EventStage, EventChooseEval, EventChoose, EventPruned} {
+		if counts[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-7s %4d events  %10.2f virtual seconds (busy, overlapping)\n",
+			k, counts[k], totals[k])
+	}
+	return b.String()
+}

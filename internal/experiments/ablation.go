@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/scheduler"
+	"metadataflow/internal/workload/synthetic"
+)
+
+// Ablation isolates the contribution of each MDF mechanism on the synthetic
+// job: branch-aware scheduling (BAS vs BFS), anticipatory memory management
+// (AMM vs LRU), and incremental choose evaluation — the design choices
+// DESIGN.md calls out, measured independently rather than only in the
+// paper's {LRU, AMM} × {incremental} grid.
+func Ablation(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "ablation",
+		Title:  "Mechanism ablation on the synthetic job",
+		XLabel: "branches (|B1|=|B2|)",
+		Unit:   "virtual seconds",
+		Columns: []string{
+			"BFS+LRU", "BAS+LRU", "BFS+AMM", "BAS+AMM", "BAS+AMM+incremental",
+		},
+	}
+	type config struct {
+		sched       func() scheduler.Policy
+		policy      memorymgr.PolicyKind
+		incremental bool
+	}
+	configs := []config{
+		{func() scheduler.Policy { return scheduler.BFS() }, memorymgr.LRU, false},
+		{func() scheduler.Policy { return scheduler.BAS(nil) }, memorymgr.LRU, false},
+		{func() scheduler.Policy { return scheduler.BFS() }, memorymgr.AMM, false},
+		{func() scheduler.Policy { return scheduler.BAS(nil) }, memorymgr.AMM, false},
+		{func() scheduler.Policy { return scheduler.BAS(nil) }, memorymgr.AMM, true},
+	}
+	factors := []int{5, 8, 10}
+	if o.Quick {
+		factors = []int{5}
+	}
+	seeds := o.seeds()
+	for _, b := range factors {
+		b := b
+		row := Row{X: fmt.Sprintf("%d (%d)", b, b*b)}
+		for _, cfg := range configs {
+			cfg := cfg
+			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+				p := synthetic.Defaults()
+				p.Seed = seed
+				p.OuterBranches, p.InnerBranches = b, b
+				p.Rows = 1200
+				p.VirtualBytes = 8 * gb
+				if o.Quick {
+					p.Rows = 500
+				}
+				g, err := synthetic.BuildMDF(p)
+				if err != nil {
+					return 0, err
+				}
+				res, err := configuredRun(g, clusterConfig(8, 6*gb), cfg.policy, cfg.sched, cfg.incremental, false)
+				if err != nil {
+					return 0, err
+				}
+				return res.CompletionTime(), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Cells = append(row.Cells, sum)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,306 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6). Each experiment returns a Table whose series mirror the
+// paper's: completion times (virtual seconds), processing rates or memory
+// hit ratios, averaged over three seeded runs with min and max recorded as
+// error bars, exactly as the paper reports its results.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"metadataflow/internal/baseline"
+	"metadataflow/internal/cluster"
+	"metadataflow/internal/engine"
+	"metadataflow/internal/graph"
+	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/scheduler"
+	"metadataflow/internal/stats"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Seeds is the number of runs per data point (default 3, matching the
+	// paper's protocol).
+	Seeds int
+	// Quick shrinks workloads and sweeps for fast test runs.
+	Quick bool
+}
+
+// DefaultOptions mirrors the paper's three-run protocol.
+func DefaultOptions() Options { return Options{Seeds: 3} }
+
+func (o Options) seeds() []int64 {
+	n := o.Seeds
+	if n <= 0 {
+		n = 3
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i + 1)
+	}
+	return out
+}
+
+// Row is one x-axis point of a table.
+type Row struct {
+	X     string
+	Cells []stats.Summary
+}
+
+// Table is the regenerated data of one figure or table.
+type Table struct {
+	ID      string
+	Title   string
+	XLabel  string
+	Unit    string
+	Columns []string
+	Rows    []Row
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s (%s)\n", t.ID, t.Title, t.Unit)
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len(t.XLabel)
+	for _, r := range t.Rows {
+		if len(r.X) > widths[0] {
+			widths[0] = len(r.X)
+		}
+	}
+	cells := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		cells[i] = make([]string, len(r.Cells))
+		for j, c := range r.Cells {
+			cells[i][j] = formatSummary(c)
+		}
+	}
+	for j, col := range t.Columns {
+		widths[j+1] = len(col)
+		for i := range cells {
+			if j < len(cells[i]) && len(cells[i][j]) > widths[j+1] {
+				widths[j+1] = len(cells[i][j])
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", widths[0], t.XLabel)
+	for j, col := range t.Columns {
+		fmt.Fprintf(&b, "  %*s", widths[j+1], col)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", widths[0], r.X)
+		for j := range t.Columns {
+			cell := ""
+			if j < len(cells[i]) {
+				cell = cells[i][j]
+			}
+			fmt.Fprintf(&b, "  %*s", widths[j+1], cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatSummary(s stats.Summary) string {
+	if s.Min == s.Max {
+		return fmt.Sprintf("%.2f", s.Avg)
+	}
+	return fmt.Sprintf("%.2f [%.2f,%.2f]", s.Avg, s.Min, s.Max)
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table
+// (avg [min, max] cells), ready for EXPERIMENTS.md.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**%s** — %s (%s)\n\n", t.ID, t.Title, t.Unit)
+	fmt.Fprintf(&b, "| %s |", t.XLabel)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %s |", c)
+	}
+	b.WriteString("\n|")
+	for range len(t.Columns) + 1 {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "| %s |", r.X)
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, " %s |", formatSummary(c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (avg only).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", t.XLabel)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, ",%s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%s", r.X)
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, ",%.4f", c.Avg)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Column returns the index of the named column, or -1.
+func (t *Table) Column(name string) int {
+	for i, c := range t.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Cell returns the summary at (row x, column name); ok is false when absent.
+func (t *Table) Cell(x, column string) (stats.Summary, bool) {
+	ci := t.Column(column)
+	if ci < 0 {
+		return stats.Summary{}, false
+	}
+	for _, r := range t.Rows {
+		if r.X == x && ci < len(r.Cells) {
+			return r.Cells[ci], true
+		}
+	}
+	return stats.Summary{}, false
+}
+
+// Experiment is a regenerator for one figure or table.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func(Options) (*Table, error)
+}
+
+// Registry lists every experiment, keyed by lowercase ID (fig5..fig18,
+// table1).
+func Registry() []Experiment {
+	return []Experiment{
+		{"table1", "Optimisations for choose operator function properties", Table1},
+		{"fig5", "Deep learning job: completion time by exploration strategy", Fig5},
+		{"fig6", "Data profiling job: completion time vs input size", Fig6},
+		{"fig7", "Time series job: completion time vs explored branches", Fig7},
+		{"fig8", "Time series job: choose-function variants and hints", Fig8},
+		{"fig9", "Synthetic job: completion time vs branching factor", Fig9},
+		{"fig10", "Scalability: processing rate vs worker count", Fig10},
+		{"fig11", "Scalability: completion time vs dataset size", Fig11},
+		{"fig12", "Topology: completion time vs outer branching factor", Fig12},
+		{"fig13", "Scalability: memory hit ratio vs worker count", Fig13},
+		{"fig14", "Scalability: memory hit ratio vs dataset size", Fig14},
+		{"fig15", "Topology: memory hit ratio vs outer branching factor", Fig15},
+		{"fig16", "Resources: relative completion time vs processing cost", Fig16},
+		{"fig17", "Resources: relative completion time vs worker memory", Fig17},
+		{"fig18", "Resources: memory hit ratio vs worker memory", Fig18},
+		{"ablation", "Mechanism ablation: BAS / AMM / incremental in isolation", Ablation},
+		{"stragglers", "Completion time with one straggling worker (§5)", Stragglers},
+		{"recovery", "Completion time with a node failure mid-exploration (§5)", Recovery},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == strings.ToLower(id) {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(ids, ", "))
+}
+
+// --- shared execution helpers -------------------------------------------
+
+// clusterConfig returns the testbed configuration with the given worker
+// count and per-worker memory.
+func clusterConfig(workers int, mem int64) cluster.Config {
+	cfg := cluster.DefaultConfig()
+	cfg.Workers = workers
+	cfg.MemPerWorker = mem
+	return cfg
+}
+
+// mdfRun executes the MDF with the full machinery (BAS + AMM + incremental).
+func mdfRun(g *graph.Graph, ccfg cluster.Config) (*engine.Result, error) {
+	return configuredRun(g, ccfg, memorymgr.AMM, func() scheduler.Policy { return scheduler.BAS(nil) }, true, false)
+}
+
+// configuredRun executes one job with explicit policy knobs.
+func configuredRun(g *graph.Graph, ccfg cluster.Config, pol memorymgr.PolicyKind,
+	newSched func() scheduler.Policy, incremental, pinReused bool) (*engine.Result, error) {
+	cl, err := cluster.New(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	return baseline.SingleJob(g, baseline.Config{
+		Cluster:      cl,
+		Policy:       pol,
+		NewScheduler: newSched,
+		Incremental:  incremental,
+		PinReused:    pinReused,
+	})
+}
+
+// seqRun executes the expanded family sequentially.
+func seqRun(g *graph.Graph, ccfg cluster.Config) (float64, error) {
+	jobs, err := baseline.ExpandJobs(g)
+	if err != nil {
+		return 0, err
+	}
+	cl, err := cluster.New(ccfg)
+	if err != nil {
+		return 0, err
+	}
+	res, err := baseline.Sequential(jobs, baseline.Config{Cluster: cl, Policy: memorymgr.LRU})
+	if err != nil {
+		return 0, err
+	}
+	return res.CompletionTime, nil
+}
+
+// parRun executes the expanded family k jobs at a time.
+func parRun(g *graph.Graph, k int, ccfg cluster.Config) (float64, error) {
+	jobs, err := baseline.ExpandJobs(g)
+	if err != nil {
+		return 0, err
+	}
+	cl, err := cluster.New(ccfg)
+	if err != nil {
+		return 0, err
+	}
+	res, err := baseline.Parallel(jobs, k, baseline.Config{Cluster: cl, Policy: memorymgr.LRU})
+	if err != nil {
+		return 0, err
+	}
+	return res.CompletionTime, nil
+}
+
+// summarize runs fn once per seed and summarises the returned values.
+func summarize(seeds []int64, fn func(seed int64) (float64, error)) (stats.Summary, error) {
+	vals := make([]float64, 0, len(seeds))
+	for _, s := range seeds {
+		v, err := fn(s)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		vals = append(vals, v)
+	}
+	return stats.Summarize(vals), nil
+}
+
+const gb = int64(1) << 30

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+
+	"metadataflow/internal/workload/synthetic"
+)
+
+// scalabilityParams keeps the input per worker constant at 2 GB (§6.2).
+func scalabilityParams(o Options, workers int, seed int64) synthetic.Params {
+	p := synthetic.Defaults()
+	p.Seed = seed
+	p.Partitions = workers
+	p.VirtualBytes = int64(workers) * 2 * gb
+	p.Rows = 250 * workers
+	if o.Quick {
+		p.Rows = 80 * workers
+	}
+	return p
+}
+
+func workerCounts(o Options) []int {
+	if o.Quick {
+		return []int{2, 4}
+	}
+	return []int{2, 4, 6, 8, 10, 12}
+}
+
+// Fig10 regenerates the worker-scalability experiment: the rate at which
+// the aggregate input is processed as workers grow from 2 to 12, for the
+// four {LRU, AMM} × {incremental} ablations. Input per worker is constant.
+func Fig10(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "fig10",
+		Title:  "Processing rate vs number of workers",
+		XLabel: "workers",
+		Unit:   "MB/s",
+	}
+	for _, v := range policyVariants() {
+		t.Columns = append(t.Columns, v.name)
+	}
+	seeds := o.seeds()
+	for _, w := range workerCounts(o) {
+		w := w
+		row := Row{X: fmt.Sprintf("%d", w)}
+		for _, v := range policyVariants() {
+			v := v
+			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+				p := scalabilityParams(o, w, seed)
+				res, err := runVariant(p, clusterConfig(w, 4*gb), v)
+				if err != nil {
+					return 0, err
+				}
+				return float64(p.VirtualBytes) / 1e6 / res.CompletionTime(), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Cells = append(row.Cells, sum)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig13 regenerates the memory-hit-ratio companion of Fig10: the ratio is
+// unaffected by the worker count because the input per worker is constant.
+func Fig13(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "fig13",
+		Title:  "Memory hit ratio vs number of workers",
+		XLabel: "workers",
+		Unit:   "ratio",
+	}
+	for _, v := range policyVariants() {
+		t.Columns = append(t.Columns, v.name)
+	}
+	seeds := o.seeds()
+	for _, w := range workerCounts(o) {
+		w := w
+		row := Row{X: fmt.Sprintf("%d", w)}
+		for _, v := range policyVariants() {
+			v := v
+			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+				p := scalabilityParams(o, w, seed)
+				res, err := runVariant(p, clusterConfig(w, 4*gb), v)
+				if err != nil {
+					return 0, err
+				}
+				return res.Metrics.Mem.HitRatio(), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Cells = append(row.Cells, sum)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func dataSizes(o Options) []int64 {
+	if o.Quick {
+		return []int64{2, 6}
+	}
+	return []int64{2, 3, 4, 5, 6, 7, 8, 9}
+}
+
+// dataSizeParams varies the input per worker from 2 to 9 GB with 10 GB of
+// memory per worker (§6.2).
+func dataSizeParams(o Options, perWorkerGB int64, seed int64) synthetic.Params {
+	p := synthetic.Defaults()
+	p.Seed = seed
+	p.Partitions = 8
+	p.VirtualBytes = perWorkerGB * 8 * gb
+	p.Rows = 2000
+	if o.Quick {
+		p.Rows = 600
+	}
+	return p
+}
+
+// Fig11 regenerates the dataset-size scalability experiment: completion
+// time as the input grows from 2 to 9 GB per worker with 10 GB of memory.
+func Fig11(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "fig11",
+		Title:  "Completion time vs dataset size per worker",
+		XLabel: "GB/worker",
+		Unit:   "virtual seconds",
+	}
+	for _, v := range policyVariants() {
+		t.Columns = append(t.Columns, v.name)
+	}
+	seeds := o.seeds()
+	for _, s := range dataSizes(o) {
+		s := s
+		row := Row{X: fmt.Sprintf("%d", s)}
+		for _, v := range policyVariants() {
+			v := v
+			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+				res, err := runVariant(dataSizeParams(o, s, seed), clusterConfig(8, 10*gb), v)
+				if err != nil {
+					return 0, err
+				}
+				return res.CompletionTime(), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Cells = append(row.Cells, sum)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig14 regenerates the memory-hit-ratio companion of Fig11.
+func Fig14(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "fig14",
+		Title:  "Memory hit ratio vs dataset size per worker",
+		XLabel: "GB/worker",
+		Unit:   "ratio",
+	}
+	for _, v := range policyVariants() {
+		t.Columns = append(t.Columns, v.name)
+	}
+	seeds := o.seeds()
+	for _, s := range dataSizes(o) {
+		s := s
+		row := Row{X: fmt.Sprintf("%d", s)}
+		for _, v := range policyVariants() {
+			v := v
+			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+				res, err := runVariant(dataSizeParams(o, s, seed), clusterConfig(8, 10*gb), v)
+				if err != nil {
+					return 0, err
+				}
+				return res.Metrics.Mem.HitRatio(), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Cells = append(row.Cells, sum)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+
+	"metadataflow/internal/workload/synthetic"
+)
+
+// topologyFactors returns (outer, inner) branching factors with a constant
+// product: 120 branches total (§6.3 uses the highly composite 120), or 12
+// in quick mode.
+func topologyFactors(o Options) [][2]int {
+	if o.Quick {
+		return [][2]int{{2, 6}, {3, 4}, {6, 2}}
+	}
+	return [][2]int{{2, 60}, {3, 40}, {4, 30}, {6, 20}, {10, 12}, {20, 6}, {40, 3}, {60, 2}}
+}
+
+func topologyParams(o Options, outer, inner int, seed int64) synthetic.Params {
+	p := synthetic.Defaults()
+	p.Seed = seed
+	p.OuterBranches = outer
+	p.InnerBranches = inner
+	p.Rows = 1200
+	p.VirtualBytes = 16 * gb
+	if o.Quick {
+		p.Rows = 500
+	}
+	return p
+}
+
+// Fig12 regenerates the topology experiment: completion time as the outer
+// branching factor |B1| grows while |B1 × B2| stays fixed. Incremental
+// choose evaluation helps most when the inner factor is high (datasets are
+// discarded early); AMM helps most when the outer factor is high (the
+// explore input is reused more often).
+func Fig12(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "fig12",
+		Title:  "Completion time vs outer branching factor (|B1×B2| fixed)",
+		XLabel: "|B1|",
+		Unit:   "virtual seconds",
+	}
+	for _, v := range policyVariants() {
+		t.Columns = append(t.Columns, v.name)
+	}
+	seeds := o.seeds()
+	for _, f := range topologyFactors(o) {
+		f := f
+		row := Row{X: fmt.Sprintf("%d", f[0])}
+		for _, v := range policyVariants() {
+			v := v
+			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+				res, err := runVariant(topologyParams(o, f[0], f[1], seed), clusterConfig(8, 6*gb), v)
+				if err != nil {
+					return 0, err
+				}
+				return res.CompletionTime(), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Cells = append(row.Cells, sum)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig15 regenerates the memory-hit-ratio companion of Fig12.
+func Fig15(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "fig15",
+		Title:  "Memory hit ratio vs outer branching factor (|B1×B2| fixed)",
+		XLabel: "|B1|",
+		Unit:   "ratio",
+	}
+	for _, v := range policyVariants() {
+		t.Columns = append(t.Columns, v.name)
+	}
+	seeds := o.seeds()
+	for _, f := range topologyFactors(o) {
+		f := f
+		row := Row{X: fmt.Sprintf("%d", f[0])}
+		for _, v := range policyVariants() {
+			v := v
+			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+				res, err := runVariant(topologyParams(o, f[0], f[1], seed), clusterConfig(8, 6*gb), v)
+				if err != nil {
+					return 0, err
+				}
+				return res.Metrics.Mem.HitRatio(), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Cells = append(row.Cells, sum)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig16 regenerates the CPU-cost experiment: completion time relative to
+// the LRU baseline as the per-item processing cost grows. As the job
+// becomes compute-bound, the I/O savings of AMM and incremental evaluation
+// matter less and the curves converge towards 1.
+func Fig16(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig16",
+		Title:   "Relative completion time vs processing cost (normalised to LRU)",
+		XLabel:  "ops/item",
+		Unit:    "x of LRU",
+		Columns: []string{"AMM", "LRU+incremental", "AMM+incremental"},
+	}
+	costs := []int{1, 4, 16, 64, 256}
+	if o.Quick {
+		costs = []int{1, 64}
+	}
+	seeds := o.seeds()
+	for _, c := range costs {
+		c := c
+		row := Row{X: fmt.Sprintf("%d", c)}
+		params := func(seed int64) synthetic.Params {
+			p := synthetic.Defaults()
+			p.Seed = seed
+			p.OuterBranches, p.InnerBranches = 5, 5
+			p.OpsPerItem = c
+			p.Rows = 1200
+			p.VirtualBytes = 16 * gb
+			if o.Quick {
+				p.Rows = 500
+			}
+			return p
+		}
+		for _, v := range policyVariants()[1:] { // AMM, LRU+inc, AMM+inc
+			v := v
+			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+				base, err := runVariant(params(seed), clusterConfig(8, 6*gb), policyVariants()[0])
+				if err != nil {
+					return 0, err
+				}
+				res, err := runVariant(params(seed), clusterConfig(8, 6*gb), v)
+				if err != nil {
+					return 0, err
+				}
+				return res.CompletionTime() / base.CompletionTime(), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Cells = append(row.Cells, sum)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func memSizes(o Options) []int64 {
+	if o.Quick {
+		return []int64{2, 24}
+	}
+	return []int64{1, 2, 4, 6, 8, 12, 16, 24}
+}
+
+func memSweepParams(o Options, seed int64) synthetic.Params {
+	p := synthetic.Defaults()
+	p.Seed = seed
+	p.OuterBranches, p.InnerBranches = 5, 5
+	p.Rows = 1200
+	p.VirtualBytes = 16 * gb
+	if o.Quick {
+		p.Rows = 500
+	}
+	return p
+}
+
+// Fig17 regenerates the memory-availability experiment: completion time
+// relative to LRU as per-worker memory grows with a fixed input. With
+// little memory AMM+incremental wins clearly; as everything fits, all
+// approaches converge.
+func Fig17(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig17",
+		Title:   "Relative completion time vs memory per worker (normalised to LRU)",
+		XLabel:  "GB/worker",
+		Unit:    "x of LRU",
+		Columns: []string{"AMM", "LRU+incremental", "AMM+incremental"},
+	}
+	seeds := o.seeds()
+	for _, m := range memSizes(o) {
+		m := m
+		row := Row{X: fmt.Sprintf("%d", m)}
+		for _, v := range policyVariants()[1:] {
+			v := v
+			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+				base, err := runVariant(memSweepParams(o, seed), clusterConfig(8, m*gb), policyVariants()[0])
+				if err != nil {
+					return 0, err
+				}
+				res, err := runVariant(memSweepParams(o, seed), clusterConfig(8, m*gb), v)
+				if err != nil {
+					return 0, err
+				}
+				return res.CompletionTime() / base.CompletionTime(), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Cells = append(row.Cells, sum)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig18 regenerates the memory-hit-ratio companion of Fig17: all four
+// ablations, converging to 1 as memory grows, with LRU needing the most
+// memory to get there.
+func Fig18(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "fig18",
+		Title:  "Memory hit ratio vs memory per worker",
+		XLabel: "GB/worker",
+		Unit:   "ratio",
+	}
+	for _, v := range policyVariants() {
+		t.Columns = append(t.Columns, v.name)
+	}
+	seeds := o.seeds()
+	for _, m := range memSizes(o) {
+		m := m
+		row := Row{X: fmt.Sprintf("%d", m)}
+		for _, v := range policyVariants() {
+			v := v
+			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+				res, err := runVariant(memSweepParams(o, seed), clusterConfig(8, m*gb), v)
+				if err != nil {
+					return 0, err
+				}
+				return res.Metrics.Mem.HitRatio(), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Cells = append(row.Cells, sum)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

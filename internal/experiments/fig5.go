@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"metadataflow/internal/graph"
+	"metadataflow/internal/workload/dnn"
+)
+
+func fig5Params(o Options, seed int64) dnn.Params {
+	p := dnn.Defaults()
+	p.Seed = seed
+	if o.Quick {
+		p.Train, p.Val, p.Dims, p.Hidden = 200, 80, 16, 12
+		p.Inits = dnn.Inits()[:4]
+		p.LearningRates = []float64{0.001, 0.01}
+		p.Momenta = []float64{0.5, 0.9}
+	}
+	return p
+}
+
+// Fig5 regenerates the deep learning completion-time comparison: four
+// exploration strategies (initial weights only, hyper-parameters only,
+// exhaustive cross product, early choose) under sequential, 4-parallel,
+// 8-parallel and MDF execution.
+func Fig5(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Deep learning job completion time",
+		XLabel:  "explorables",
+		Unit:    "virtual seconds",
+		Columns: []string{"sequential", "4-parallel", "8-parallel", "MDF"},
+	}
+	ccfg := clusterConfig(8, 10*gb)
+	seeds := o.seeds()
+
+	type builder func(dnn.Params) (*graph.Graph, error)
+	configs := []struct {
+		name  string
+		build builder
+		// earlyPhases, when set, models the user's two-phase orchestration
+		// for the baselines (weights first, then hyper-parameters).
+		earlyPhases []builder
+	}{
+		{name: "W", build: dnn.BuildWeightsOnlyMDF},
+		{name: "RxM", build: dnn.BuildHyperOnlyMDF},
+		{name: "WxRxM (exhaustive)", build: dnn.BuildExhaustiveMDF},
+		{name: "W->RxM (early choose)", build: dnn.BuildEarlyChooseMDF,
+			earlyPhases: []builder{dnn.BuildWeightsOnlyMDF, dnn.BuildHyperOnlyMDF}},
+	}
+	for _, cfg := range configs {
+		row := Row{X: cfg.name}
+		baselineBuilders := []builder{cfg.build}
+		if cfg.earlyPhases != nil {
+			baselineBuilders = cfg.earlyPhases
+		}
+		// Sequential and parallel baselines.
+		for _, k := range []int{1, 4, 8} {
+			k := k
+			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+				var total float64
+				for _, build := range baselineBuilders {
+					g, err := build(fig5Params(o, seed))
+					if err != nil {
+						return 0, err
+					}
+					var ct float64
+					if k == 1 {
+						ct, err = seqRun(g, ccfg)
+					} else {
+						ct, err = parRun(g, k, ccfg)
+					}
+					if err != nil {
+						return 0, err
+					}
+					total += ct
+				}
+				return total, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Cells = append(row.Cells, sum)
+		}
+		// MDF execution of the single integrated job.
+		sum, err := summarize(seeds, func(seed int64) (float64, error) {
+			g, err := cfg.build(fig5Params(o, seed))
+			if err != nil {
+				return 0, err
+			}
+			res, err := mdfRun(g, ccfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.CompletionTime(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.Cells = append(row.Cells, sum)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+
+	"metadataflow/internal/cluster"
+	"metadataflow/internal/engine"
+	"metadataflow/internal/graph"
+	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/scheduler"
+	"metadataflow/internal/stats"
+	"metadataflow/internal/workload/synthetic"
+)
+
+// Stragglers quantifies the §5 discussion of straggling workers: without
+// mitigation a straggler gates every stage it participates in, slowing the
+// job by about its slow factor; with speculative re-execution (the
+// "existing mechanisms" the paper leverages, modelled as capacity-weighted
+// compute rebalancing) the job degrades only by the lost capacity share.
+func Stragglers(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "stragglers",
+		Title:   "MDF completion time with one straggling worker",
+		XLabel:  "slow factor",
+		Unit:    "virtual seconds",
+		Columns: []string{"SEEP (MDF)", "relative", "MDF + speculation", "relative (spec.)"},
+	}
+	factors := []float64{1, 1.5, 2, 4, 8}
+	if o.Quick {
+		factors = []float64{1, 4}
+	}
+	seeds := o.seeds()
+	params := func(seed int64) synthetic.Params {
+		p := synthetic.Defaults()
+		p.Seed = seed
+		p.Rows = 1200
+		p.VirtualBytes = 8 * gb
+		if o.Quick {
+			p.Rows = 500
+		}
+		return p
+	}
+	run := func(seed int64, slow float64, speculative bool) (float64, error) {
+		g, err := synthetic.BuildMDF(params(seed))
+		if err != nil {
+			return 0, err
+		}
+		cl, err := cluster.New(clusterConfig(8, 10*gb))
+		if err != nil {
+			return 0, err
+		}
+		cl.Nodes[0].SlowFactor = slow
+		plan, err := graph.BuildPlan(g)
+		if err != nil {
+			return 0, err
+		}
+		r, err := engine.NewRun(plan, engine.Options{
+			Cluster: cl, Policy: memorymgr.AMM,
+			Scheduler: scheduler.BAS(nil), Incremental: true,
+			Speculative: speculative,
+		}, 0)
+		if err != nil {
+			return 0, err
+		}
+		res, err := r.RunToCompletion()
+		if err != nil {
+			return 0, err
+		}
+		return res.CompletionTime(), nil
+	}
+	base, err := summarize(seeds, func(seed int64) (float64, error) { return run(seed, 1, false) })
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range factors {
+		f := f
+		plain, err := summarize(seeds, func(seed int64) (float64, error) { return run(seed, f, false) })
+		if err != nil {
+			return nil, err
+		}
+		spec, err := summarize(seeds, func(seed int64) (float64, error) { return run(seed, f, true) })
+		if err != nil {
+			return nil, err
+		}
+		relOf := func(s stats.Summary) stats.Summary {
+			s.Min /= base.Avg
+			s.Avg /= base.Avg
+			s.Max /= base.Avg
+			return s
+		}
+		t.Rows = append(t.Rows, Row{
+			X:     fmt.Sprintf("%gx", f),
+			Cells: []stats.Summary{plain, relOf(plain), spec, relOf(spec)},
+		})
+	}
+	return t, nil
+}
+
+// Recovery quantifies the §5 fault-tolerance mechanism: a node failure
+// mid-exploration loses the node's resident partitions, but the choose
+// scores checkpointed at the master avoid re-executing branches — only
+// re-reads from the checkpoints on disk are charged, and on CPU-bound
+// stages those reads hide under computation entirely ("the result can be
+// recovered from the master rather than executing entire branches").
+func Recovery(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "recovery",
+		Title:   "MDF completion time with a node failure mid-exploration",
+		XLabel:  "failure point (stages executed)",
+		Unit:    "virtual seconds",
+		Columns: []string{"clean run", "with failure", "overhead"},
+	}
+	seeds := o.seeds()
+	params := func(seed int64) synthetic.Params {
+		p := synthetic.Defaults()
+		p.Seed = seed
+		p.Rows = 1200
+		p.VirtualBytes = 8 * gb
+		if o.Quick {
+			p.Rows = 500
+		}
+		return p
+	}
+	run := func(seed int64, failAfter int) (float64, error) {
+		g, err := synthetic.BuildMDF(params(seed))
+		if err != nil {
+			return 0, err
+		}
+		cl, err := cluster.New(clusterConfig(8, 10*gb))
+		if err != nil {
+			return 0, err
+		}
+		plan, err := graph.BuildPlan(g)
+		if err != nil {
+			return 0, err
+		}
+		opts := engine.Options{
+			Cluster: cl, Policy: memorymgr.AMM,
+			Scheduler: scheduler.BAS(nil), Incremental: true,
+			FailAfterStage: failAfter, FailNode: 0,
+		}
+		if failAfter <= 0 {
+			opts.FailAfterStage = -1
+			opts.FailNode = -1
+		}
+		r, err := engine.NewRun(plan, opts, 0)
+		if err != nil {
+			return 0, err
+		}
+		res, err := r.RunToCompletion()
+		if err != nil {
+			return 0, err
+		}
+		return res.CompletionTime(), nil
+	}
+	points := []int{5, 15, 25}
+	if o.Quick {
+		points = []int{5}
+	}
+	clean, err := summarize(seeds, func(seed int64) (float64, error) { return run(seed, 0) })
+	if err != nil {
+		return nil, err
+	}
+	for _, fp := range points {
+		fp := fp
+		failed, err := summarize(seeds, func(seed int64) (float64, error) { return run(seed, fp) })
+		if err != nil {
+			return nil, err
+		}
+		overhead := failed
+		overhead.Min = failed.Min - clean.Avg
+		overhead.Avg = failed.Avg - clean.Avg
+		overhead.Max = failed.Max - clean.Avg
+		t.Rows = append(t.Rows, Row{
+			X:     fmt.Sprintf("%d", fp),
+			Cells: []stats.Summary{clean, failed, overhead},
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"metadataflow/internal/cluster"
+	"metadataflow/internal/dataset"
+	"metadataflow/internal/engine"
+	"metadataflow/internal/graph"
+	"metadataflow/internal/mdf"
+	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/scheduler"
+	"metadataflow/internal/stats"
+)
+
+// Table1 verifies the optimisation matrix of Tab. 1 by construction: for
+// each combination of evaluator properties (monotone / convex / none) and
+// selection properties (associative, non-exhaustive), it executes a
+// controlled MDF and reports whether datasets of discarded branches were
+// dropped incrementally and whether superfluous branches were pruned.
+// Cells hold 1 (observed) or 0 (not observed).
+func Table1(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "table1",
+		Title:   "Observed optimisations by choose function properties",
+		XLabel:  "evaluator/selection",
+		Unit:    "1=observed",
+		Columns: []string{"discard incrementally", "discard superfluous"},
+	}
+
+	const branches = 8
+	rows := []struct {
+		name string
+		eval mdf.Evaluator
+		sel  mdf.Selector
+	}{
+		{
+			name: "monotone / associative (top-1, sorted)",
+			eval: mdf.Evaluator{Name: "rows", Monotone: true,
+				Fn: func(d *dataset.Dataset) float64 { return float64(d.NumRows()) }},
+			sel: mdf.TopK(1),
+		},
+		{
+			name: "convex / associative (min, sorted)",
+			eval: mdf.Evaluator{Name: "dist", Convex: true,
+				Fn: func(d *dataset.Dataset) float64 { return float64(d.NumRows()) }},
+			sel: mdf.Min(),
+		},
+		{
+			name: "none / associative & non-exhaustive (k-threshold)",
+			eval: mdf.SizeEvaluator(),
+			sel:  mdf.KThreshold(2, 100, false),
+		},
+		{
+			name: "none / associative (top-k)",
+			eval: mdf.SizeEvaluator(),
+			sel:  mdf.TopK(2),
+		},
+		{
+			name: "none / none (mode)",
+			eval: mdf.SizeEvaluator(),
+			sel:  mdf.Mode(),
+		},
+	}
+	for i, rc := range rows {
+		g, err := table1MDF(rc.eval, rc.sel, branches, i)
+		if err != nil {
+			return nil, err
+		}
+		cl, err := cluster.New(clusterConfig(4, gb))
+		if err != nil {
+			return nil, err
+		}
+		res, err := engine.Execute(g, engine.Options{
+			Cluster:     cl,
+			Policy:      memorymgr.AMM,
+			Scheduler:   scheduler.BAS(scheduler.SortedHint(false)),
+			Incremental: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table1 row %q: %w", rc.name, err)
+		}
+		discard := 0.0
+		if res.Metrics.BranchesDiscarded > 0 {
+			discard = 1
+		}
+		prune := 0.0
+		if res.Metrics.BranchesPruned > 0 {
+			prune = 1
+		}
+		t.Rows = append(t.Rows, Row{
+			X: rc.name,
+			Cells: []stats.Summary{
+				{Min: discard, Avg: discard, Max: discard},
+				{Min: prune, Avg: prune, Max: prune},
+			},
+		})
+	}
+	return t, nil
+}
+
+// table1MDF builds a controlled MDF whose branch scores vary with the
+// explorable hint. For the monotone row, scores fall with the hint; for the
+// convex row, scores fall then rise; otherwise scores alternate.
+func table1MDF(eval mdf.Evaluator, sel mdf.Selector, branches, shape int) (*graph.Graph, error) {
+	rows := make([]dataset.Row, 256)
+	for i := range rows {
+		rows[i] = i
+	}
+	input := dataset.FromRows("input", rows, 4, 1<<16)
+	specs := make([]mdf.BranchSpec, branches)
+	for i := range specs {
+		specs[i] = mdf.BranchSpec{Label: fmt.Sprintf("b%d", i), Hint: float64(i)}
+	}
+	// keepCount determines each branch's output size (and thus score).
+	keepCount := func(hint int) int {
+		switch shape {
+		case 0: // monotone decreasing in the hint
+			return 256 - 28*hint
+		case 1: // convex: valley at the middle hint
+			mid := branches / 2
+			d := hint - mid
+			return 32 + 16*d*d
+		default: // varied sizes
+			return 64 + 24*((hint*5)%branches)
+		}
+	}
+	b := mdf.NewBuilder()
+	src := b.Source("src", mdf.SourceFromDataset(input), 0.001)
+	out := src.Explore("explore", specs, mdf.NewChooser(eval, sel),
+		func(start *mdf.Node, spec mdf.BranchSpec) *mdf.Node {
+			keep := keepCount(int(spec.Hint))
+			return start.Then("take"+spec.Label, mdf.FilterRows("taken", func(r dataset.Row) bool {
+				return r.(int) < keep
+			}), 0.002)
+		})
+	out.Then("sink", mdf.Identity("result"), 0.0001)
+	return b.Build()
+}

@@ -1,0 +1,252 @@
+package graph
+
+// This file implements the collapsed-MDF analysis of App. B: closed-form
+// counts of how many datasets the system must maintain after each stage of a
+// symmetric collapsed MDF under depth-first (BAS) and breadth-first (BFS)
+// traversal, plus a direct step-by-step simulator used to cross-check the
+// formulas and Theorem 4.3.
+//
+// A collapsed MDF with breadth B and depth D is a perfect B-ary tree of
+// explore stages: one stage at depth 0 (the source side), B^d stages at each
+// depth d, and, below depth D, nested choose stages that select a single
+// dataset per sibling group. Stages at depth d are numbered b = 1..B^d in
+// execution order. Following App. B, the analysis assumes no early or
+// incremental choose (the worst case for DFS).
+
+// ipow returns base^exp for non-negative exp.
+func ipow(base, exp int) int {
+	r := 1
+	for i := 0; i < exp; i++ {
+		r *= base
+	}
+	return r
+}
+
+// DFSMaintained implements Eq. 1 of App. B: the number of datasets that must
+// be maintained after the stage numbered b (1-based) at depth d completes
+// under depth-first traversal of a collapsed MDF with breadth B.
+func DFSMaintained(B, d, b int) int {
+	if d == 0 {
+		return 1
+	}
+	total := 1
+	for x := 1; x <= d; x++ {
+		bx := ipow(B, x)
+		rem := (b - 1) % bx // (b-1) - floor((b-1)/B^x)·B^x
+		childIdx := rem / ipow(B, x-1)
+		lastChild := 0
+		if rem >= bx-ipow(B, x-1) { // in the last child at this depth
+			lastChild = 1
+		}
+		total += childIdx + 1 - lastChild
+	}
+	return total
+}
+
+// BFSMaintained implements Eq. 2 of App. B: the number of datasets that must
+// be maintained after the stage numbered b (1-based) at depth d completes
+// under breadth-first traversal of a collapsed MDF with breadth B.
+func BFSMaintained(B, d, b int) int {
+	if d == 0 {
+		return 1
+	}
+	return ipow(B, d-1) - b/B + b
+}
+
+// BFSChooseMaintained implements Eq. 5 of App. B: the number of datasets
+// maintained after the choose stage matching the explore stage numbered b at
+// depth d completes under breadth-first traversal.
+func BFSChooseMaintained(B, d, b int) int {
+	return ipow(B, d+1) - B*b + b
+}
+
+// Traversal selects a traversal order for the collapsed-MDF simulator.
+type Traversal int
+
+const (
+	// DepthFirst executes each branch to its choose before starting siblings
+	// (the BAS order).
+	DepthFirst Traversal = iota
+	// BreadthFirst executes all stages of a depth before the next depth
+	// (the baseline order).
+	BreadthFirst
+)
+
+// CollapsedStep records the dataset count after one simulated stage.
+type CollapsedStep struct {
+	// Depth of the executed stage (0 = root; -1 for a choose stage, with
+	// ChooseDepth holding the scope depth it closes).
+	Depth int
+	// Index is the 1-based execution index of the stage within its depth
+	// (only meaningful for explore-tree stages).
+	Index int
+	// IsChoose marks a choose stage.
+	IsChoose bool
+	// Maintained is the number of datasets alive after the stage completes.
+	Maintained int
+}
+
+// SimulateCollapsed executes a collapsed MDF of the given breadth and depth
+// (depth >= 1) step by step in the given traversal order and returns, after
+// every stage, how many datasets are maintained. Semantics follow App. B:
+// each stage outputs one dataset read only by its children; a dataset is
+// discarded once all readers have executed; each choose consumes the outputs
+// of its B sibling branches and produces a single selected dataset; chooses
+// are not incremental.
+func SimulateCollapsed(breadth, depth int, order Traversal) []CollapsedStep {
+	if breadth < 2 || depth < 1 {
+		panic("graph: collapsed MDF needs breadth >= 2 and depth >= 1")
+	}
+	s := &collapsedSim{B: breadth, D: depth}
+	s.aliveReaders = map[string]int{}
+	// Root produces one dataset read by its B children.
+	s.produce("n", breadth)
+	s.steps = append(s.steps, CollapsedStep{Depth: 0, Index: 1, Maintained: s.alive})
+	switch order {
+	case DepthFirst:
+		s.dfs("n", 1)
+	case BreadthFirst:
+		s.bfs()
+	}
+	return s.steps
+}
+
+type collapsedSim struct {
+	B, D         int
+	alive        int
+	aliveReaders map[string]int
+	steps        []CollapsedStep
+	perDepthIdx  []int
+}
+
+func (s *collapsedSim) produce(node string, readers int) {
+	s.alive++
+	s.aliveReaders[node] = readers
+}
+
+func (s *collapsedSim) consume(node string) {
+	if r, ok := s.aliveReaders[node]; ok {
+		r--
+		if r == 0 {
+			delete(s.aliveReaders, node)
+			s.alive--
+		} else {
+			s.aliveReaders[node] = r
+		}
+	}
+}
+
+func (s *collapsedSim) discard(node string) {
+	if _, ok := s.aliveReaders[node]; ok {
+		delete(s.aliveReaders, node)
+		s.alive--
+	}
+}
+
+func (s *collapsedSim) nextIdx(d int) int {
+	for len(s.perDepthIdx) <= d {
+		s.perDepthIdx = append(s.perDepthIdx, 0)
+	}
+	s.perDepthIdx[d]++
+	return s.perDepthIdx[d]
+}
+
+// child returns the node key of child c (0-based) of node.
+func child(node string, c int) string { return node + "." + string(rune('a'+c)) }
+
+// runStage executes the explore-tree stage for node at depth d: it reads the
+// parent dataset and produces its own.
+func (s *collapsedSim) runStage(node string, d int, parent string) {
+	s.consume(parent)
+	readers := s.B
+	if d == s.D {
+		readers = 1 // leaf datasets are read only by their choose
+	}
+	s.produce(node, readers)
+	s.steps = append(s.steps, CollapsedStep{Depth: d, Index: s.nextIdx(d), Maintained: s.alive})
+}
+
+// runChoose executes the choose closing the sibling group under parent at
+// scope depth d: it consumes the B sibling datasets (leaf outputs or inner
+// choose outputs) and produces one selected dataset.
+func (s *collapsedSim) runChoose(siblings []string, outNode string, d int, readers int) {
+	for _, sib := range siblings {
+		s.consume(sib)
+		s.discard(sib) // non-selected datasets are discarded; selected is re-produced below
+	}
+	s.produce(outNode, readers)
+	s.steps = append(s.steps, CollapsedStep{Depth: d, IsChoose: true, Maintained: s.alive})
+}
+
+func (s *collapsedSim) dfs(parent string, d int) {
+	var chooseInputs []string
+	for c := 0; c < s.B; c++ {
+		node := child(parent, c)
+		s.runStage(node, d, parent)
+		if d < s.D {
+			s.dfs(node, d+1)
+			chooseInputs = append(chooseInputs, node+"/choose")
+		} else {
+			chooseInputs = append(chooseInputs, node)
+		}
+	}
+	readers := 1
+	s.runChoose(chooseInputs, parent+"/choose", d, readers)
+}
+
+func (s *collapsedSim) bfs() {
+	level := []string{"n"}
+	for d := 1; d <= s.D; d++ {
+		var next []string
+		for _, parent := range level {
+			for c := 0; c < s.B; c++ {
+				node := child(parent, c)
+				s.runStage(node, d, parent)
+				next = append(next, node)
+			}
+		}
+		level = next
+	}
+	// Chooses execute bottom-up, one per sibling group.
+	for d := s.D; d >= 1; d-- {
+		groups := ipow(s.B, d-1)
+		parents := s.nodesAtDepth(d - 1)
+		for gi := 0; gi < groups; gi++ {
+			parent := parents[gi]
+			var sibs []string
+			for c := 0; c < s.B; c++ {
+				if d == s.D {
+					sibs = append(sibs, child(parent, c))
+				} else {
+					sibs = append(sibs, child(parent, c)+"/choose")
+				}
+			}
+			s.runChoose(sibs, parent+"/choose", d, 1)
+		}
+	}
+}
+
+func (s *collapsedSim) nodesAtDepth(d int) []string {
+	nodes := []string{"n"}
+	for i := 0; i < d; i++ {
+		var next []string
+		for _, n := range nodes {
+			for c := 0; c < s.B; c++ {
+				next = append(next, child(n, c))
+			}
+		}
+		nodes = next
+	}
+	return nodes
+}
+
+// PeakMaintained returns the maximum dataset count over the steps.
+func PeakMaintained(steps []CollapsedStep) int {
+	peak := 0
+	for _, st := range steps {
+		if st.Maintained > peak {
+			peak = st.Maintained
+		}
+	}
+	return peak
+}

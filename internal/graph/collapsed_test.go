@@ -1,0 +1,111 @@
+package graph
+
+import "testing"
+
+func TestCollapsedDFSNeverExceedsBFS(t *testing.T) {
+	for _, B := range []int{2, 3, 4, 5} {
+		for _, D := range []int{1, 2, 3} {
+			dfs := SimulateCollapsed(B, D, DepthFirst)
+			bfs := SimulateCollapsed(B, D, BreadthFirst)
+			if len(dfs) != len(bfs) {
+				t.Fatalf("B=%d D=%d: step counts differ (%d vs %d)", B, D, len(dfs), len(bfs))
+			}
+			if p, q := PeakMaintained(dfs), PeakMaintained(bfs); p > q {
+				t.Errorf("B=%d D=%d: DFS peak %d > BFS peak %d", B, D, p, q)
+			}
+		}
+	}
+}
+
+func TestCollapsedFinalCountsAgree(t *testing.T) {
+	// After the full traversal both orders keep exactly the same datasets:
+	// the selected dataset of every closed scope along the spine plus the
+	// outer choose output. The last step is the outermost choose in both.
+	for _, B := range []int{2, 3} {
+		for _, D := range []int{1, 2} {
+			dfs := SimulateCollapsed(B, D, DepthFirst)
+			bfs := SimulateCollapsed(B, D, BreadthFirst)
+			if a, b := dfs[len(dfs)-1].Maintained, bfs[len(bfs)-1].Maintained; a != b {
+				t.Errorf("B=%d D=%d: final maintained %d (dfs) != %d (bfs)", B, D, a, b)
+			}
+		}
+	}
+}
+
+func TestBFSMaintainedMatchesSimulation(t *testing.T) {
+	// Eq. 2 gives the maintained count after the b-th stage of depth d in
+	// breadth-first order. Cross-check against the step-by-step simulator.
+	for _, B := range []int{2, 3, 4} {
+		for _, D := range []int{1, 2, 3} {
+			steps := SimulateCollapsed(B, D, BreadthFirst)
+			for _, st := range steps {
+				if st.IsChoose || st.Depth == 0 {
+					continue
+				}
+				want := BFSMaintained(B, st.Depth, st.Index)
+				if st.Maintained != want {
+					t.Errorf("B=%d D=%d d=%d b=%d: sim=%d eq2=%d",
+						B, D, st.Depth, st.Index, st.Maintained, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDFSMaintainedMatchesSimulation(t *testing.T) {
+	// Eq. 1 gives the maintained count after the b-th executed stage of
+	// depth d in depth-first order (no incremental choose).
+	for _, B := range []int{2, 3, 4} {
+		for _, D := range []int{1, 2, 3} {
+			steps := SimulateCollapsed(B, D, DepthFirst)
+			for _, st := range steps {
+				if st.IsChoose || st.Depth == 0 {
+					continue
+				}
+				want := DFSMaintained(B, st.Depth, st.Index)
+				if st.Maintained != want {
+					t.Errorf("B=%d D=%d d=%d b=%d: sim=%d eq1=%d",
+						B, D, st.Depth, st.Index, st.Maintained, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBFSChooseMaintainedMatchesSimulation(t *testing.T) {
+	// Eq. 5: maintained count after a breadth-first choose stage. Chooses
+	// run bottom-up; the g-th choose of scope depth d matches the explore
+	// stage numbered b = g·B at that depth.
+	for _, B := range []int{2, 3} {
+		for _, D := range []int{1, 2} {
+			steps := SimulateCollapsed(B, D, BreadthFirst)
+			chooseIdx := map[int]int{} // depth -> count seen
+			for _, st := range steps {
+				if !st.IsChoose {
+					continue
+				}
+				chooseIdx[st.Depth]++
+				want := BFSChooseMaintained(B, st.Depth-1, chooseIdx[st.Depth])
+				if st.Maintained != want {
+					t.Errorf("B=%d D=%d choose depth=%d idx=%d: sim=%d eq5=%d",
+						B, D, st.Depth, chooseIdx[st.Depth], st.Maintained, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPeakGapGrowsWithBreadth(t *testing.T) {
+	// The BFS-DFS gap must widen as the branching factor grows (App. B's
+	// "at a stage at d=3 when B=10 ... at least 98 datasets" observation).
+	prevGap := -1
+	for _, B := range []int{2, 4, 8} {
+		dfs := PeakMaintained(SimulateCollapsed(B, 2, DepthFirst))
+		bfs := PeakMaintained(SimulateCollapsed(B, 2, BreadthFirst))
+		gap := bfs - dfs
+		if gap <= prevGap {
+			t.Errorf("B=%d: gap %d did not grow (prev %d)", B, gap, prevGap)
+		}
+		prevGap = gap
+	}
+}

@@ -1,0 +1,249 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stage groups operators whose execution can be pipelined (App. A): a
+// maximal chain of narrow dependencies between operators of in/out degree
+// one. Explore and choose operators are assigned to their own stages (§4.2:
+// "choose operators are assigned to separate stages").
+type Stage struct {
+	// ID is the stage's index within its plan.
+	ID int
+	// Ops is the pipelined operator chain in execution order.
+	Ops []*Operator
+}
+
+// First returns the first operator of the chain.
+func (s *Stage) First() *Operator { return s.Ops[0] }
+
+// Last returns the last operator of the chain; the stage's output dataset is
+// the output of this operator.
+func (s *Stage) Last() *Operator { return s.Ops[len(s.Ops)-1] }
+
+// IsChoose reports whether the stage is a singleton choose stage.
+func (s *Stage) IsChoose() bool { return len(s.Ops) == 1 && s.Ops[0].Kind == KindChoose }
+
+// IsExplore reports whether the stage is a singleton explore stage.
+func (s *Stage) IsExplore() bool { return len(s.Ops) == 1 && s.Ops[0].Kind == KindExplore }
+
+// String implements fmt.Stringer.
+func (s *Stage) String() string {
+	if len(s.Ops) == 1 {
+		return fmt.Sprintf("T%d[%s]", s.ID, s.Ops[0].Name)
+	}
+	return fmt.Sprintf("T%d[%s..%s]", s.ID, s.Ops[0].Name, s.Ops[len(s.Ops)-1].Name)
+}
+
+// Plan is the stage decomposition of a graph, with stage-level dependency
+// sets and the branch structure needed by branch-aware scheduling and
+// anticipatory memory management.
+type Plan struct {
+	Graph  *Graph
+	Stages []*Stage
+	// Scopes are the explore/choose scopes of the MDF, outermost first.
+	Scopes []*Scope
+
+	stageOf map[int]*Stage // opID -> stage
+	pre     map[int][]*Stage
+	post    map[int][]*Stage
+	// branchOf maps a stage ID to its innermost (scope index, branch index),
+	// or nil when the stage is outside all scopes.
+	branchOf map[int]*BranchRef
+}
+
+// BranchRef locates a stage within the scope structure.
+type BranchRef struct {
+	// Scope indexes Plan.Scopes.
+	Scope int
+	// Branch is the branch index within the scope.
+	Branch int
+}
+
+// BuildPlan validates g and derives its stages.
+func BuildPlan(g *Graph) (*Plan, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	scopes, err := g.MatchScopes()
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		Graph:    g,
+		Scopes:   scopes,
+		stageOf:  make(map[int]*Stage),
+		pre:      make(map[int][]*Stage),
+		post:     make(map[int][]*Stage),
+		branchOf: make(map[int]*BranchRef),
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range order {
+		if _, staged := p.stageOf[op.ID]; staged {
+			continue
+		}
+		st := &Stage{ID: len(p.Stages)}
+		p.Stages = append(p.Stages, st)
+		cur := op
+		st.Ops = append(st.Ops, cur)
+		p.stageOf[cur.ID] = st
+		if cur.Kind == KindExplore || cur.Kind == KindChoose {
+			continue // singleton stage
+		}
+		// Extend the chain while it stays pipelineable.
+		for {
+			outs := g.Post(cur)
+			if len(outs) != 1 {
+				break
+			}
+			next := outs[0]
+			if next.Kind == KindExplore || next.Kind == KindChoose {
+				break
+			}
+			if g.InDegree(next) != 1 {
+				break
+			}
+			if dep, _ := g.Dep(cur, next); dep != Narrow {
+				break
+			}
+			st.Ops = append(st.Ops, next)
+			p.stageOf[next.ID] = st
+			cur = next
+		}
+	}
+	p.buildStageEdges()
+	p.buildBranchRefs()
+	return p, nil
+}
+
+func (p *Plan) buildStageEdges() {
+	seen := make(map[[2]int]bool)
+	for e := range p.Graph.deps {
+		a := p.stageOf[e[0]]
+		b := p.stageOf[e[1]]
+		if a == b {
+			continue
+		}
+		key := [2]int{a.ID, b.ID}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		p.post[a.ID] = append(p.post[a.ID], b)
+		p.pre[b.ID] = append(p.pre[b.ID], a)
+	}
+	for id := range p.pre {
+		sort.Slice(p.pre[id], func(i, j int) bool { return p.pre[id][i].ID < p.pre[id][j].ID })
+	}
+	for id := range p.post {
+		sort.Slice(p.post[id], func(i, j int) bool { return p.post[id][i].ID < p.post[id][j].ID })
+	}
+	// Preserve the choose's input-edge order for its pre-set, since branch
+	// index corresponds to input position (Def. 3.3).
+	for _, st := range p.Stages {
+		if !st.IsChoose() {
+			continue
+		}
+		choose := st.Ops[0]
+		ordered := make([]*Stage, 0, len(p.Graph.ins[choose.ID]))
+		for _, predOp := range p.Graph.ins[choose.ID] {
+			ordered = append(ordered, p.stageOf[predOp])
+		}
+		p.pre[st.ID] = ordered
+	}
+}
+
+func (p *Plan) buildBranchRefs() {
+	// Innermost scope wins: iterate outermost→innermost so deeper scopes
+	// overwrite. Scopes from MatchScopes are ordered by explore ID, which is
+	// not necessarily by depth, so sort an index list by depth.
+	idx := make([]int, len(p.Scopes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return p.Scopes[idx[i]].Depth < p.Scopes[idx[j]].Depth })
+	for _, si := range idx {
+		sc := p.Scopes[si]
+		for bi, members := range sc.Branches {
+			for _, opID := range members {
+				st := p.stageOf[opID]
+				p.branchOf[st.ID] = &BranchRef{Scope: si, Branch: bi}
+			}
+		}
+	}
+}
+
+// StageOf returns the stage containing op.
+func (p *Plan) StageOf(op *Operator) *Stage { return p.stageOf[op.ID] }
+
+// Pre returns •T: the stages whose outputs the given stage consumes. For
+// choose stages the order matches the choose operator's input-edge order.
+func (p *Plan) Pre(st *Stage) []*Stage { return p.pre[st.ID] }
+
+// Post returns T•: the stages that consume the given stage's output.
+func (p *Plan) Post(st *Stage) []*Stage { return p.post[st.ID] }
+
+// Branch returns the innermost scope/branch reference of a stage, or nil if
+// the stage lies outside every exploration scope.
+func (p *Plan) Branch(st *Stage) *BranchRef { return p.branchOf[st.ID] }
+
+// SourceStages returns the stages with an empty pre-set.
+func (p *Plan) SourceStages() []*Stage {
+	var out []*Stage
+	for _, st := range p.Stages {
+		if len(p.pre[st.ID]) == 0 {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Consumers returns the number of stages that consume the output of st.
+func (p *Plan) Consumers(st *Stage) int { return len(p.post[st.ID]) }
+
+// ScopeOfChoose returns the scope closed by the given choose stage, or nil.
+func (p *Plan) ScopeOfChoose(st *Stage) *Scope {
+	if !st.IsChoose() {
+		return nil
+	}
+	for _, sc := range p.Scopes {
+		if sc.Choose.ID == st.Ops[0].ID {
+			return sc
+		}
+	}
+	return nil
+}
+
+// ScopeOfExplore returns the scope opened by the given explore stage, or nil.
+func (p *Plan) ScopeOfExplore(st *Stage) *Scope {
+	if !st.IsExplore() {
+		return nil
+	}
+	for _, sc := range p.Scopes {
+		if sc.Explore.ID == st.Ops[0].ID {
+			return sc
+		}
+	}
+	return nil
+}
+
+// BranchStages returns the stages of branch b of scope sc in topological
+// order.
+func (p *Plan) BranchStages(sc *Scope, b int) []*Stage {
+	var out []*Stage
+	seen := map[int]bool{}
+	for _, opID := range sc.Branches[b] {
+		st := p.stageOf[opID]
+		if !seen[st.ID] {
+			seen[st.ID] = true
+			out = append(out, st)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,228 @@
+package graph
+
+import "fmt"
+
+// Validate checks that the graph is a well-formed MDF per Def. 3.1 and
+// App. A: non-empty, weakly connected, acyclic, with degree constraints on
+// explore (|•v| = 1, |v•| > 1) and choose (|•v| > 1, |v•| = 1) operators,
+// executable payloads on every operator, and properly nested explore/choose
+// scopes so that every explore has a matching choose.
+func (g *Graph) Validate() error {
+	if len(g.ops) == 0 {
+		return fmt.Errorf("graph: empty")
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	if err := g.checkConnected(); err != nil {
+		return err
+	}
+	for _, op := range g.ops {
+		if err := g.checkOp(op); err != nil {
+			return err
+		}
+	}
+	if _, err := g.MatchScopes(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (g *Graph) checkConnected() error {
+	// Weak connectivity via union-find over edges.
+	parent := make([]int, len(g.ops))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for e := range g.deps {
+		a, b := find(e[0]), find(e[1])
+		if a != b {
+			parent[a] = b
+		}
+	}
+	root := find(0)
+	for i := range g.ops {
+		if find(i) != root {
+			return fmt.Errorf("graph: not connected (operator %q unreachable)", g.ops[i].Name)
+		}
+	}
+	return nil
+}
+
+func (g *Graph) checkOp(op *Operator) error {
+	in, out := g.InDegree(op), g.OutDegree(op)
+	switch op.Kind {
+	case KindSource:
+		if in != 0 {
+			return fmt.Errorf("graph: source %q has %d predecessors", op.Name, in)
+		}
+		if op.Transform == nil {
+			return fmt.Errorf("graph: source %q has no function", op.Name)
+		}
+	case KindTransform:
+		if in == 0 {
+			return fmt.Errorf("graph: transform %q has no predecessors", op.Name)
+		}
+		if op.Transform == nil {
+			return fmt.Errorf("graph: transform %q has no function", op.Name)
+		}
+	case KindExplore:
+		if in != 1 {
+			return fmt.Errorf("graph: explore %q must have exactly one predecessor, has %d", op.Name, in)
+		}
+		if out <= 1 {
+			return fmt.Errorf("graph: explore %q must have more than one successor, has %d", op.Name, out)
+		}
+	case KindChoose:
+		if in <= 1 {
+			return fmt.Errorf("graph: choose %q must have more than one predecessor, has %d", op.Name, in)
+		}
+		if out > 1 {
+			return fmt.Errorf("graph: choose %q must have at most one successor, has %d", op.Name, out)
+		}
+		if op.Chooser == nil {
+			return fmt.Errorf("graph: choose %q has no chooser", op.Name)
+		}
+	default:
+		return fmt.Errorf("graph: operator %q has unknown kind %d", op.Name, int(op.Kind))
+	}
+	return nil
+}
+
+// Scope describes one exploration scope: an explore operator, its matching
+// choose, and the branches between them. Branch i is the subgraph reachable
+// from the i-th successor of Explore without passing through Choose.
+type Scope struct {
+	Explore *Operator
+	Choose  *Operator
+	// Branches holds, per branch, the operator IDs belonging to the branch
+	// in topological order (excluding the explore and choose themselves).
+	Branches [][]int
+	// Depth is the nesting depth (outermost scope has depth 1).
+	Depth int
+}
+
+// MatchScopes pairs every explore with its matching choose by balanced
+// traversal and returns the scopes in order of increasing explore ID.
+// It errors on unbalanced or interleaved scopes.
+func (g *Graph) MatchScopes() ([]*Scope, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	// nesting[v] = exploration depth at which v executes (stack of open
+	// explores). Computed by propagating a scope stack along edges; all
+	// predecessors of a vertex must agree.
+	stacks := make(map[int][]int) // opID -> stack of open explore IDs
+	for _, op := range order {
+		var stack []int
+		preds := g.Pre(op)
+		if len(preds) == 0 {
+			stack = nil
+		} else {
+			for i, p := range preds {
+				ps := stacks[p.ID]
+				// Leaving a choose pops its explore; entering computed below.
+				eff := ps
+				if p.Kind == KindExplore {
+					eff = append(append([]int{}, ps...), p.ID)
+				}
+				if p.Kind == KindChoose {
+					if len(ps) == 0 {
+						return nil, fmt.Errorf("graph: choose %q closes no open explore", p.Name)
+					}
+					eff = ps[:len(ps)-1]
+				}
+				if i == 0 {
+					stack = append([]int{}, eff...)
+				} else if !equalInts(stack, eff) {
+					return nil, fmt.Errorf("graph: operator %q has predecessors in different scopes", op.Name)
+				}
+			}
+		}
+		stacks[op.ID] = stack
+	}
+	// A choose's matching explore is the top of its own stack.
+	scopes := make(map[int]*Scope) // exploreID -> scope
+	for _, op := range order {
+		switch op.Kind {
+		case KindExplore:
+			scopes[op.ID] = &Scope{Explore: op, Depth: len(stacks[op.ID]) + 1}
+		case KindChoose:
+			st := stacks[op.ID]
+			if len(st) == 0 {
+				return nil, fmt.Errorf("graph: choose %q has no matching explore", op.Name)
+			}
+			sc := scopes[st[len(st)-1]]
+			if sc.Choose != nil {
+				return nil, fmt.Errorf("graph: explore %q matched by two chooses (%q, %q)",
+					sc.Explore.Name, sc.Choose.Name, op.Name)
+			}
+			sc.Choose = op
+		}
+	}
+	var out []*Scope
+	for _, op := range order {
+		if op.Kind != KindExplore {
+			continue
+		}
+		sc := scopes[op.ID]
+		if sc.Choose == nil {
+			return nil, fmt.Errorf("graph: explore %q has no matching choose", op.Name)
+		}
+		sc.Branches = g.branchMembers(sc)
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// branchMembers computes, per successor of the scope's explore, the operator
+// IDs reachable without passing through the scope's choose.
+func (g *Graph) branchMembers(sc *Scope) [][]int {
+	heads := g.outs[sc.Explore.ID]
+	branches := make([][]int, len(heads))
+	for i, head := range heads {
+		seen := map[int]bool{}
+		var stack []int
+		stack = append(stack, head)
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[id] || id == sc.Choose.ID {
+				continue
+			}
+			seen[id] = true
+			for _, nxt := range g.outs[id] {
+				stack = append(stack, nxt)
+			}
+		}
+		members := make([]int, 0, len(seen))
+		for _, op := range g.ops { // deterministic order
+			if seen[op.ID] {
+				members = append(members, op.ID)
+			}
+		}
+		branches[i] = members
+	}
+	return branches
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,210 @@
+package mdf
+
+import (
+	"testing"
+
+	"metadataflow/internal/dataset"
+	"metadataflow/internal/graph"
+)
+
+func srcFn() graph.TransformFunc {
+	return SourceFunc(func() *dataset.Dataset {
+		rows := make([]dataset.Row, 10)
+		for i := range rows {
+			rows[i] = i
+		}
+		return dataset.FromRows("in", rows, 2, 8)
+	})
+}
+
+func TestBuilderLinearChain(t *testing.T) {
+	b := NewBuilder()
+	b.Source("src", srcFn(), 0.001).
+		Then("a", Identity("a"), 0.001).
+		ThenWide("b", Identity("b"), 0.001)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumOps() != 3 {
+		t.Fatalf("ops = %d, want 3", g.NumOps())
+	}
+	plan, err := graph.BuildPlan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wide dep forces a boundary: [src, a], [b].
+	if len(plan.Stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(plan.Stages))
+	}
+}
+
+func TestBuilderExploreStructure(t *testing.T) {
+	b := NewBuilder()
+	src := b.Source("src", srcFn(), 0.001)
+	out := src.Explore("e", Branches("x", "y"), NewChooser(SizeEvaluator(), Max()),
+		func(start *Node, spec BranchSpec) *Node {
+			return start.Then("f-"+spec.Label, Identity("f"), 0.001)
+		})
+	out.Then("sink", Identity("s"), 0.001)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scopes, err := g.MatchScopes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scopes) != 1 || len(scopes[0].Branches) != 2 {
+		t.Fatalf("unexpected scope structure: %+v", scopes)
+	}
+	// Branch heads carry label and hint.
+	heads := g.Post(scopes[0].Explore)
+	if heads[0].BranchLabel != "x" || heads[1].BranchLabel != "y" {
+		t.Errorf("branch labels = %q, %q", heads[0].BranchLabel, heads[1].BranchLabel)
+	}
+	if heads[1].Hint != 1 {
+		t.Errorf("branch hint = %v, want 1", heads[1].Hint)
+	}
+}
+
+func TestBuilderRejectsSingleBranch(t *testing.T) {
+	b := NewBuilder()
+	src := b.Source("src", srcFn(), 0.001)
+	src.Explore("e", Branches("only"), NewChooser(SizeEvaluator(), Max()),
+		func(start *Node, spec BranchSpec) *Node {
+			return start.Then("f", Identity("f"), 0.001)
+		})
+	if _, err := b.Build(); err == nil {
+		t.Fatal("single-branch explore accepted")
+	}
+}
+
+func TestBuilderRejectsNilChooser(t *testing.T) {
+	b := NewBuilder()
+	src := b.Source("src", srcFn(), 0.001)
+	src.Explore("e", Branches("x", "y"), nil,
+		func(start *Node, spec BranchSpec) *Node {
+			return start.Then("f", Identity("f"), 0.001)
+		})
+	if _, err := b.Build(); err == nil {
+		t.Fatal("nil chooser accepted")
+	}
+}
+
+func TestBuilderRejectsEmptyBranch(t *testing.T) {
+	b := NewBuilder()
+	src := b.Source("src", srcFn(), 0.001)
+	src.Explore("e", Branches("x", "y"), NewChooser(SizeEvaluator(), Max()),
+		func(start *Node, spec BranchSpec) *Node {
+			return start // empty branch body
+		})
+	if _, err := b.Build(); err == nil {
+		t.Fatal("empty branch accepted")
+	}
+}
+
+func TestBuilderNestedScopes(t *testing.T) {
+	b := NewBuilder()
+	src := b.Source("src", srcFn(), 0.001)
+	out := src.Explore("outer", Branches("A", "B"), NewChooser(SizeEvaluator(), Max()),
+		func(start *Node, spec BranchSpec) *Node {
+			mid := start.Then("m"+spec.Label, Identity("m"), 0.001)
+			return mid.Explore("inner"+spec.Label, Branches("x", "y"),
+				NewChooser(SizeEvaluator(), Max()),
+				func(inner *Node, ispec BranchSpec) *Node {
+					return inner.Then("f"+spec.Label+ispec.Label, Identity("f"), 0.001)
+				})
+		})
+	out.Then("sink", Identity("s"), 0.001)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scopes, err := g.MatchScopes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scopes) != 3 {
+		t.Fatalf("scopes = %d, want 3 (1 outer + 2 inner)", len(scopes))
+	}
+	depths := map[int]int{}
+	for _, sc := range scopes {
+		depths[sc.Depth]++
+	}
+	if depths[1] != 1 || depths[2] != 2 {
+		t.Errorf("scope depths = %v, want 1 at depth 1 and 2 at depth 2", depths)
+	}
+}
+
+func TestTransformHelpers(t *testing.T) {
+	in, err := srcFn()(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := MapRows("m", 0.5, func(r dataset.Row) dataset.Row { return r.(int) * 2 })([]*dataset.Dataset{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped.Rows()[3].(int) != 6 {
+		t.Errorf("MapRows result wrong: %v", mapped.Rows()[3])
+	}
+	if mapped.VirtualBytes() != in.VirtualBytes()/2 {
+		t.Errorf("MapRows size scale: %d, want %d", mapped.VirtualBytes(), in.VirtualBytes()/2)
+	}
+	filtered, err := FilterRows("f", func(r dataset.Row) bool { return r.(int) < 5 })([]*dataset.Dataset{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered.NumRows() != 5 {
+		t.Errorf("FilterRows kept %d, want 5", filtered.NumRows())
+	}
+	if filtered.VirtualBytes() != in.VirtualBytes()/2 {
+		t.Errorf("FilterRows size: %d, want half of %d", filtered.VirtualBytes(), in.VirtualBytes())
+	}
+	ident, err := Identity("i")([]*dataset.Dataset{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ident.NumRows() != in.NumRows() || ident.ID == in.ID {
+		t.Error("Identity must preserve rows under a fresh identity")
+	}
+	whole, err := WholeDataset("w", func(d *dataset.Dataset) (*dataset.Dataset, error) {
+		return dataset.FromRows("one", []dataset.Row{d.NumRows()}, 1, 4), nil
+	})([]*dataset.Dataset{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.Rows()[0].(int) != 10 {
+		t.Error("WholeDataset result wrong")
+	}
+}
+
+func TestTransformAritymismatch(t *testing.T) {
+	in, _ := srcFn()(nil)
+	if _, err := MapRows("m", 1, nil)([]*dataset.Dataset{in, in}); err == nil {
+		t.Error("MapRows with 2 inputs accepted")
+	}
+	if _, err := SourceFromDataset(in)([]*dataset.Dataset{in}); err == nil {
+		t.Error("source with inputs accepted")
+	}
+}
+
+func TestSourceFromDatasetFreshIdentity(t *testing.T) {
+	base, _ := srcFn()(nil)
+	fn := SourceFromDataset(base)
+	a, err := fn(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fn(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == b.ID {
+		t.Error("each source invocation must mint a fresh dataset identity")
+	}
+	if a.NumRows() != base.NumRows() {
+		t.Error("source must preserve payload")
+	}
+}

@@ -1,0 +1,122 @@
+package mdf
+
+import (
+	"fmt"
+	"testing"
+
+	"metadataflow/internal/dataset"
+)
+
+func iterInput() *dataset.Dataset {
+	rows := make([]dataset.Row, 64)
+	for i := range rows {
+		rows[i] = float64(1)
+	}
+	d := dataset.FromRows("x", rows, 2, 8)
+	d.SetVirtualBytes(1 << 24)
+	return d
+}
+
+// applyChain runs the unrolled rounds directly through the transform
+// functions of a built graph path.
+func buildIterGraph(t *testing.T, spec IterationSpec, branches int, divergeBranch int) ([]*dataset.Dataset, error) {
+	t.Helper()
+	// Build explore over branches; branch i multiplies values by (i+1) per
+	// round; the diverge predicate flags branch divergeBranch.
+	b := NewBuilder()
+	src := b.Source("src", SourceFromDataset(iterInput()), 0.001)
+	specs := make([]BranchSpec, branches)
+	for i := range specs {
+		specs[i] = BranchSpec{Label: fmt.Sprintf("b%d", i), Hint: float64(i)}
+	}
+	out := src.Explore("iter", specs, NewChooser(SizeEvaluator(), Max()),
+		func(start *Node, bs BranchSpec) *Node {
+			factor := bs.Hint + 1
+			s := spec
+			s.Step = func(round int, d *dataset.Dataset) (*dataset.Dataset, error) {
+				return MapRows("step", 1.0, func(r dataset.Row) dataset.Row {
+					return r.(float64) * factor
+				})([]*dataset.Dataset{d})
+			}
+			s.Diverged = func(round int, d *dataset.Dataset) bool {
+				return int(bs.Hint) == divergeBranch && round >= 2
+			}
+			return start.Iterate(s)
+		})
+	out.Then("sink", Identity("out"), 0.001)
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	// Execute transform chain manually for each branch (no engine needed):
+	// walk from explore successors.
+	scopes, err := g.MatchScopes()
+	if err != nil {
+		return nil, err
+	}
+	var results []*dataset.Dataset
+	input, _ := SourceFromDataset(iterInput())(nil)
+	for _, branch := range scopes[0].Branches {
+		cur := input
+		for _, opID := range branch {
+			op := g.Op(opID)
+			next, err := op.Transform([]*dataset.Dataset{cur})
+			if err != nil {
+				return nil, err
+			}
+			cur = next
+		}
+		results = append(results, cur)
+	}
+	return results, nil
+}
+
+func TestIterateRunsAllRounds(t *testing.T) {
+	spec := IterationSpec{Name: "fix", Rounds: 3, CostPerMB: 0.01}
+	results, err := buildIterGraph(t, spec, 3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Branch i multiplies by (i+1) three times: values (i+1)^3.
+	for i, res := range results {
+		want := float64((i + 1) * (i + 1) * (i + 1))
+		if got := res.Rows()[0].(float64); got != want {
+			t.Errorf("branch %d value = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestIterateTerminatesDivergedBranch(t *testing.T) {
+	spec := IterationSpec{Name: "fix", Rounds: 5, CostPerMB: 0.01}
+	results, err := buildIterGraph(t, spec, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Terminated(results[1]) {
+		t.Error("diverged branch should end terminated")
+	}
+	if Terminated(results[0]) || Terminated(results[2]) {
+		t.Error("converging branches must not be terminated")
+	}
+	// The terminated marker carries no accounted bytes: remaining rounds
+	// are effectively free.
+	if results[1].VirtualBytes() != 0 {
+		t.Errorf("terminated marker has %d accounted bytes, want 0", results[1].VirtualBytes())
+	}
+}
+
+func TestIterateValidation(t *testing.T) {
+	if err := (IterationSpec{Name: "x", Rounds: 0, Step: nil}).Validate(); err == nil {
+		t.Error("rounds=0 accepted")
+	}
+	if err := (IterationSpec{Name: "x", Rounds: 1}).Validate(); err == nil {
+		t.Error("nil step accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Iterate should panic on invalid spec")
+		}
+	}()
+	b := NewBuilder()
+	b.Source("src", SourceFromDataset(iterInput()), 0.001).Iterate(IterationSpec{Rounds: 0})
+}

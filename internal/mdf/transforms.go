@@ -1,0 +1,104 @@
+package mdf
+
+import (
+	"fmt"
+
+	"metadataflow/internal/dataset"
+	"metadataflow/internal/graph"
+)
+
+// This file provides common operator-function constructors. Transform
+// functions receive the predecessor outputs in edge order and must produce a
+// dataset with accounted partition sizes; the helpers here preserve or scale
+// the input's virtual sizes so the cluster simulator charges realistic I/O.
+
+// SourceFromDataset returns a source function that emits a fixed dataset.
+// Each invocation re-emits the same payload with a fresh dataset identity so
+// that independent jobs account their inputs separately.
+func SourceFromDataset(d *dataset.Dataset) graph.TransformFunc {
+	return func(ins []*dataset.Dataset) (*dataset.Dataset, error) {
+		if len(ins) != 0 {
+			return nil, fmt.Errorf("mdf: source received %d inputs", len(ins))
+		}
+		out := dataset.New(d.Name)
+		out.Parts = append(out.Parts, d.Parts...)
+		return out, nil
+	}
+}
+
+// SourceFunc returns a source function that calls gen on every invocation.
+func SourceFunc(gen func() *dataset.Dataset) graph.TransformFunc {
+	return func(ins []*dataset.Dataset) (*dataset.Dataset, error) {
+		if len(ins) != 0 {
+			return nil, fmt.Errorf("mdf: source received %d inputs", len(ins))
+		}
+		return gen(), nil
+	}
+}
+
+// MapRows returns a transform applying f to every row, preserving
+// partitioning and scaling each partition's accounted size by sizeScale
+// (1.0 keeps the input size).
+func MapRows(name string, sizeScale float64, f func(dataset.Row) dataset.Row) graph.TransformFunc {
+	return func(ins []*dataset.Dataset) (*dataset.Dataset, error) {
+		if len(ins) != 1 {
+			return nil, fmt.Errorf("mdf: %s expects one input, got %d", name, len(ins))
+		}
+		in := ins[0]
+		out := dataset.New(name)
+		for _, p := range in.Parts {
+			rows := make([]dataset.Row, len(p.Rows))
+			for i, r := range p.Rows {
+				rows[i] = f(r)
+			}
+			out.Parts = append(out.Parts, &dataset.Partition{
+				Rows:         rows,
+				VirtualBytes: int64(float64(p.VirtualBytes) * sizeScale),
+			})
+		}
+		return out, nil
+	}
+}
+
+// FilterRows returns a transform keeping the rows for which pred holds,
+// scaling each partition's accounted size by the fraction of rows kept.
+func FilterRows(name string, pred func(dataset.Row) bool) graph.TransformFunc {
+	return func(ins []*dataset.Dataset) (*dataset.Dataset, error) {
+		if len(ins) != 1 {
+			return nil, fmt.Errorf("mdf: %s expects one input, got %d", name, len(ins))
+		}
+		in := ins[0]
+		out := dataset.New(name)
+		for _, p := range in.Parts {
+			var rows []dataset.Row
+			for _, r := range p.Rows {
+				if pred(r) {
+					rows = append(rows, r)
+				}
+			}
+			vb := int64(0)
+			if len(p.Rows) > 0 {
+				vb = int64(float64(p.VirtualBytes) * float64(len(rows)) / float64(len(p.Rows)))
+			}
+			out.Parts = append(out.Parts, &dataset.Partition{Rows: rows, VirtualBytes: vb})
+		}
+		return out, nil
+	}
+}
+
+// WholeDataset returns a transform applying f to the single input dataset
+// as a whole (for aggregations and model training).
+func WholeDataset(name string, f func(in *dataset.Dataset) (*dataset.Dataset, error)) graph.TransformFunc {
+	return func(ins []*dataset.Dataset) (*dataset.Dataset, error) {
+		if len(ins) != 1 {
+			return nil, fmt.Errorf("mdf: %s expects one input, got %d", name, len(ins))
+		}
+		return f(ins[0])
+	}
+}
+
+// Identity returns a transform forwarding its input unchanged under a new
+// dataset identity.
+func Identity(name string) graph.TransformFunc {
+	return MapRows(name, 1.0, func(r dataset.Row) dataset.Row { return r })
+}

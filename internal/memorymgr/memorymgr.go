@@ -1,0 +1,314 @@
+// Package memorymgr implements the worker-side memory allocator of §5 and
+// the eviction policies of §4.3: the least-recently-used baseline and
+// anticipatory memory management (AMM, Alg. 2). An allocator manages one
+// node's dataset memory for one job, tracks residency (in memory vs. spilled
+// to disk), charges virtual I/O time on the node's resource timelines, and
+// records the memory-hit-ratio statistics reported in §6.2.
+package memorymgr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"metadataflow/internal/cluster"
+	"metadataflow/internal/dataset"
+)
+
+// PolicyKind selects an eviction policy.
+type PolicyKind int
+
+const (
+	// LRU evicts the dataset partition that has not been used for the
+	// longest (the Spark-style baseline, §2.1).
+	LRU PolicyKind = iota
+	// AMM evicts the partition with the lowest preference
+	// pre(d) = acc(d) · δ(n,d) · α (Alg. 2).
+	AMM
+)
+
+// String implements fmt.Stringer.
+func (p PolicyKind) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case AMM:
+		return "AMM"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// AccessCounter reports acc(d): how many times the dataset owning a
+// partition will still be read as operator input, given the stages executed
+// and branches pruned so far. The engine implements this from the MDF
+// structure (Alg. 2, lines 1–3).
+type AccessCounter interface {
+	FutureAccesses(key dataset.PartKey) int
+}
+
+// Metrics aggregates memory-manager statistics for one job run.
+type Metrics struct {
+	// Hits and Misses count partition accesses served from memory or disk.
+	Hits, Misses int64
+	// BytesFromMem and BytesFromDisk are the corresponding byte volumes.
+	BytesFromMem, BytesFromDisk int64
+	// Evictions counts spill decisions; SpilledBytes their volume.
+	Evictions    int64
+	SpilledBytes int64
+	// PeakResidentBytes is the high-water mark of memory use across nodes.
+	PeakResidentBytes int64
+}
+
+// HitRatio returns the fraction of data accesses served from memory
+// (the paper's "memory hit ratio", §6.2).
+func (m *Metrics) HitRatio() float64 {
+	total := m.Hits + m.Misses
+	if total == 0 {
+		return 1
+	}
+	return float64(m.Hits) / float64(total)
+}
+
+// Merge accumulates other into m.
+func (m *Metrics) Merge(other *Metrics) {
+	m.Hits += other.Hits
+	m.Misses += other.Misses
+	m.BytesFromMem += other.BytesFromMem
+	m.BytesFromDisk += other.BytesFromDisk
+	m.Evictions += other.Evictions
+	m.SpilledBytes += other.SpilledBytes
+	if other.PeakResidentBytes > m.PeakResidentBytes {
+		m.PeakResidentBytes = other.PeakResidentBytes
+	}
+}
+
+type entry struct {
+	key        dataset.PartKey
+	bytes      int64
+	lastAccess float64
+	inMemory   bool
+	pinned     bool
+}
+
+// Allocator manages the dataset memory of one worker node for one job.
+type Allocator struct {
+	node     *cluster.Node
+	cfg      cluster.Config
+	capacity int64
+	policy   PolicyKind
+	acc      AccessCounter
+	alpha    float64
+
+	used    int64
+	entries map[dataset.PartKey]*entry
+	spilled map[dataset.PartKey]int64
+	metrics Metrics
+	seq     float64 // tie-breaking sequence for identical timestamps
+}
+
+// NewAllocator creates an allocator with the given memory capacity on node.
+// acc may be nil when the policy is LRU.
+func NewAllocator(node *cluster.Node, cfg cluster.Config, capacity int64, policy PolicyKind, acc AccessCounter) *Allocator {
+	return &Allocator{
+		node:     node,
+		cfg:      cfg,
+		capacity: capacity,
+		policy:   policy,
+		acc:      acc,
+		alpha:    cfg.Alpha(),
+		entries:  make(map[dataset.PartKey]*entry),
+		spilled:  make(map[dataset.PartKey]int64),
+	}
+}
+
+// Metrics returns the accumulated statistics.
+func (a *Allocator) Metrics() *Metrics { return &a.metrics }
+
+// SpilledByPartition returns the cumulative bytes spilled per partition at
+// this node, for spill attribution reports.
+func (a *Allocator) SpilledByPartition() map[dataset.PartKey]int64 {
+	out := make(map[dataset.PartKey]int64, len(a.spilled))
+	for k, v := range a.spilled {
+		out[k] = v
+	}
+	return out
+}
+
+// Capacity returns the allocator's memory budget in bytes.
+func (a *Allocator) Capacity() int64 { return a.capacity }
+
+// Used returns the bytes currently resident in memory.
+func (a *Allocator) Used() int64 { return a.used }
+
+// Resident reports whether the partition is currently in memory.
+func (a *Allocator) Resident(key dataset.PartKey) bool {
+	e, ok := a.entries[key]
+	return ok && e.inMemory
+}
+
+// Known reports whether the allocator tracks the partition at all
+// (in memory or on disk).
+func (a *Allocator) Known(key dataset.PartKey) bool {
+	_, ok := a.entries[key]
+	return ok
+}
+
+// Pin marks a partition so that it is evicted only when no unpinned victim
+// exists; models Spark's explicit cache() designation (§6.1).
+func (a *Allocator) Pin(key dataset.PartKey) {
+	if e, ok := a.entries[key]; ok {
+		e.pinned = true
+	}
+}
+
+func (a *Allocator) touch(e *entry, t float64) {
+	a.seq += 1e-9
+	e.lastAccess = t + a.seq
+}
+
+// Put stores a freshly produced partition, evicting per policy if memory is
+// exhausted, and returns the virtual time at which the write completes. A
+// partition larger than the whole budget goes straight to disk.
+func (a *Allocator) Put(key dataset.PartKey, bytes int64, t float64) float64 {
+	e := &entry{key: key, bytes: bytes}
+	a.entries[key] = e
+	if bytes > a.capacity {
+		e.inMemory = false
+		a.metrics.Evictions++
+		a.metrics.SpilledBytes += bytes
+		a.spilled[key] += bytes
+		return a.node.Disk(t, a.cfg.DiskWriteSec(bytes))
+	}
+	t = a.makeRoom(bytes, t)
+	e.inMemory = true
+	a.used += bytes
+	if a.used > a.metrics.PeakResidentBytes {
+		a.metrics.PeakResidentBytes = a.used
+	}
+	a.touch(e, t)
+	return a.node.CPU(t, a.cfg.MemWriteSec(bytes))
+}
+
+// Access reads a partition as operator input, returning the completion time
+// and whether the access was a memory hit. Disk misses reload the partition
+// into memory (evicting per policy).
+func (a *Allocator) Access(key dataset.PartKey, t float64) (end float64, hit bool, err error) {
+	e, ok := a.entries[key]
+	if !ok {
+		return t, false, fmt.Errorf("memorymgr: access to unknown partition %s", key)
+	}
+	if e.inMemory {
+		a.metrics.Hits++
+		a.metrics.BytesFromMem += e.bytes
+		a.touch(e, t)
+		return a.node.CPU(t, a.cfg.MemReadSec(e.bytes)), true, nil
+	}
+	a.metrics.Misses++
+	a.metrics.BytesFromDisk += e.bytes
+	end = a.node.Disk(t, a.cfg.DiskReadSec(e.bytes))
+	if e.bytes <= a.capacity {
+		end = a.makeRoom(e.bytes, end)
+		e.inMemory = true
+		a.used += e.bytes
+		if a.used > a.metrics.PeakResidentBytes {
+			a.metrics.PeakResidentBytes = a.used
+		}
+	}
+	a.touch(e, end)
+	return end, false, nil
+}
+
+// Discard drops a partition entirely (R3: datasets no longer needed are
+// discarded as soon as possible). Discarding is free.
+func (a *Allocator) Discard(key dataset.PartKey) {
+	e, ok := a.entries[key]
+	if !ok {
+		return
+	}
+	if e.inMemory {
+		a.used -= e.bytes
+	}
+	delete(a.entries, key)
+}
+
+// FailNode models a node failure under checkpoint-based fault tolerance
+// (§5): all resident partitions drop out of memory and must be re-read from
+// their checkpoints on disk.
+func (a *Allocator) FailNode() {
+	for _, e := range a.entries {
+		if e.inMemory {
+			e.inMemory = false
+			a.used -= e.bytes
+		}
+	}
+}
+
+// makeRoom evicts partitions per policy until bytes fit, charging disk
+// writes for each spill, and returns the time at which room is available.
+func (a *Allocator) makeRoom(bytes int64, t float64) float64 {
+	for a.used+bytes > a.capacity {
+		victim := a.pickVictim()
+		if victim == nil {
+			break // nothing evictable; allow transient over-commit
+		}
+		victim.inMemory = false
+		a.used -= victim.bytes
+		a.metrics.Evictions++
+		a.metrics.SpilledBytes += victim.bytes
+		a.spilled[victim.key] += victim.bytes
+		t = a.node.Disk(t, a.cfg.DiskWriteSec(victim.bytes))
+	}
+	return t
+}
+
+// pickVictim chooses the partition to evict. Pinned partitions are spared
+// while any unpinned candidate exists. LRU picks the oldest access; AMM the
+// lowest preference acc(d)·δ(n,d)·α, breaking ties by LRU then key order for
+// determinism.
+func (a *Allocator) pickVictim() *entry {
+	var cands []*entry
+	for _, e := range a.entries {
+		if e.inMemory && !e.pinned {
+			cands = append(cands, e)
+		}
+	}
+	if len(cands) == 0 {
+		for _, e := range a.entries {
+			if e.inMemory {
+				cands = append(cands, e)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].key.Dataset != cands[j].key.Dataset {
+			return cands[i].key.Dataset < cands[j].key.Dataset
+		}
+		return cands[i].key.Index < cands[j].key.Index
+	})
+	switch a.policy {
+	case AMM:
+		best, bestPref, bestAge := cands[0], math.Inf(1), math.Inf(1)
+		for _, e := range cands {
+			acc := 0
+			if a.acc != nil {
+				acc = a.acc.FutureAccesses(e.key)
+			}
+			pref := float64(acc) * float64(e.bytes) * a.alpha
+			if pref < bestPref || (pref == bestPref && e.lastAccess < bestAge) {
+				best, bestPref, bestAge = e, pref, e.lastAccess
+			}
+		}
+		return best
+	default: // LRU
+		best := cands[0]
+		for _, e := range cands {
+			if e.lastAccess < best.lastAccess {
+				best = e
+			}
+		}
+		return best
+	}
+}

@@ -1,0 +1,252 @@
+package memorymgr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"metadataflow/internal/cluster"
+	"metadataflow/internal/dataset"
+)
+
+type accMap map[dataset.PartKey]int
+
+func (m accMap) FutureAccesses(k dataset.PartKey) int { return m[k] }
+
+func key(i int) dataset.PartKey { return dataset.PartKey{Dataset: dataset.ID(i), Index: 0} }
+
+func newAlloc(capacity int64, policy PolicyKind, acc AccessCounter) (*Allocator, *cluster.Node) {
+	node := &cluster.Node{}
+	return NewAllocator(node, cluster.DefaultConfig(), capacity, policy, acc), node
+}
+
+func TestPutAndAccessHit(t *testing.T) {
+	a, _ := newAlloc(1<<20, LRU, nil)
+	a.Put(key(1), 1000, 0)
+	end, hit, err := a.Access(key(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("resident partition must hit")
+	}
+	if end <= 1 {
+		t.Fatal("access must advance time")
+	}
+	m := a.Metrics()
+	if m.Hits != 1 || m.Misses != 0 {
+		t.Fatalf("hits/misses = %d/%d, want 1/0", m.Hits, m.Misses)
+	}
+}
+
+func TestAccessUnknownErrors(t *testing.T) {
+	a, _ := newAlloc(1<<20, LRU, nil)
+	if _, _, err := a.Access(key(9), 0); err == nil {
+		t.Fatal("unknown partition must error")
+	}
+}
+
+func TestEvictionOnOverflowLRU(t *testing.T) {
+	a, _ := newAlloc(2500, LRU, nil)
+	a.Put(key(1), 1000, 0)
+	a.Put(key(2), 1000, 1)
+	a.Put(key(3), 1000, 2) // must evict key(1), the least recently used
+	if a.Resident(key(1)) {
+		t.Fatal("LRU should have evicted the oldest partition")
+	}
+	if !a.Resident(key(2)) || !a.Resident(key(3)) {
+		t.Fatal("younger partitions should stay resident")
+	}
+	if a.Metrics().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", a.Metrics().Evictions)
+	}
+	// Re-access of the spilled partition is a miss that reloads it.
+	_, hit, err := a.Access(key(1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("spilled partition must miss")
+	}
+	if !a.Resident(key(1)) {
+		t.Fatal("miss must reload the partition into memory")
+	}
+}
+
+func TestLRUTouchOnAccess(t *testing.T) {
+	a, _ := newAlloc(2500, LRU, nil)
+	a.Put(key(1), 1000, 0)
+	a.Put(key(2), 1000, 1)
+	a.Access(key(1), 2) // key(1) is now more recent than key(2)
+	a.Put(key(3), 1000, 3)
+	if a.Resident(key(2)) {
+		t.Fatal("key(2) should have been evicted (least recently used)")
+	}
+	if !a.Resident(key(1)) {
+		t.Fatal("recently touched key(1) should stay")
+	}
+}
+
+func TestAMMEvictsLowestPreference(t *testing.T) {
+	// AMM preference = acc(d) · size · α: the partition with the fewest
+	// remaining reads (weighted by size) goes first, regardless of recency.
+	acc := accMap{key(1): 5, key(2): 0, key(3): 2}
+	a, _ := newAlloc(2500, AMM, acc)
+	a.Put(key(1), 1000, 0) // oldest, but 5 future accesses
+	a.Put(key(2), 1000, 1) // no future accesses -> evict first
+	a.Put(key(3), 1000, 2)
+	if a.Resident(key(2)) {
+		t.Fatal("AMM should evict the partition with no future accesses")
+	}
+	if !a.Resident(key(1)) {
+		t.Fatal("frequently needed partition must stay despite being oldest")
+	}
+}
+
+func TestAMMWeighsSize(t *testing.T) {
+	// Same access count: the bigger partition has higher preference
+	// (costlier to reload), so the smaller one is evicted.
+	acc := accMap{key(1): 2, key(2): 2}
+	a, _ := newAlloc(3600, AMM, acc)
+	a.Put(key(1), 2000, 0)
+	a.Put(key(2), 500, 1)
+	a.Put(key(3), 1500, 2)
+	if a.Resident(key(2)) {
+		t.Fatal("AMM should evict the cheaper-to-reload partition")
+	}
+	if !a.Resident(key(1)) {
+		t.Fatal("expensive partition should stay")
+	}
+}
+
+func TestOversizePartitionGoesToDisk(t *testing.T) {
+	a, _ := newAlloc(1000, LRU, nil)
+	a.Put(key(1), 5000, 0)
+	if a.Resident(key(1)) {
+		t.Fatal("partition larger than capacity must go to disk")
+	}
+	if !a.Known(key(1)) {
+		t.Fatal("oversize partition must still be tracked")
+	}
+	_, hit, err := a.Access(key(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("oversize partition access must be a miss")
+	}
+}
+
+func TestPinnedSparedWhileUnpinnedExists(t *testing.T) {
+	a, _ := newAlloc(2500, LRU, nil)
+	a.Put(key(1), 1000, 0)
+	a.Pin(key(1))
+	a.Put(key(2), 1000, 1)
+	a.Put(key(3), 1000, 2)
+	if !a.Resident(key(1)) {
+		t.Fatal("pinned partition must be spared")
+	}
+	if a.Resident(key(2)) {
+		t.Fatal("unpinned partition should have been evicted instead")
+	}
+}
+
+func TestDiscardFreesMemory(t *testing.T) {
+	a, _ := newAlloc(2000, LRU, nil)
+	a.Put(key(1), 1500, 0)
+	a.Discard(key(1))
+	if a.Used() != 0 {
+		t.Fatalf("used = %d after discard, want 0", a.Used())
+	}
+	a.Put(key(2), 1500, 1)
+	if a.Metrics().Evictions != 0 {
+		t.Fatal("no eviction needed after discard")
+	}
+}
+
+func TestFailNodeDropsResidency(t *testing.T) {
+	a, _ := newAlloc(1<<20, AMM, accMap{})
+	a.Put(key(1), 1000, 0)
+	a.Put(key(2), 2000, 1)
+	a.FailNode()
+	if a.Resident(key(1)) || a.Resident(key(2)) {
+		t.Fatal("failure must drop all resident partitions")
+	}
+	if a.Used() != 0 {
+		t.Fatalf("used = %d after failure, want 0", a.Used())
+	}
+	// Partitions are recoverable from their checkpoints.
+	_, hit, err := a.Access(key(1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("recovery access must read from disk")
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	var m Metrics
+	if m.HitRatio() != 1 {
+		t.Fatal("empty metrics hit ratio must be 1")
+	}
+	m.Hits, m.Misses = 3, 1
+	if m.HitRatio() != 0.75 {
+		t.Fatalf("hit ratio = %v, want 0.75", m.HitRatio())
+	}
+}
+
+func TestMetricsMerge(t *testing.T) {
+	a := Metrics{Hits: 1, Misses: 2, BytesFromMem: 10, BytesFromDisk: 20, Evictions: 1, SpilledBytes: 5, PeakResidentBytes: 100}
+	b := Metrics{Hits: 3, Misses: 4, PeakResidentBytes: 50}
+	a.Merge(&b)
+	if a.Hits != 4 || a.Misses != 6 || a.PeakResidentBytes != 100 {
+		t.Fatalf("merge result wrong: %+v", a)
+	}
+}
+
+// Property: used bytes never exceed capacity after any Put sequence (except
+// transient oversize partitions, which bypass memory entirely).
+func TestCapacityInvariantProperty(t *testing.T) {
+	const capacity = 10000
+	f := func(sizes []uint16) bool {
+		a, _ := newAlloc(capacity, LRU, nil)
+		for i, s := range sizes {
+			size := int64(s)%4000 + 1
+			a.Put(key(i), size, float64(i))
+			if a.Used() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every access after a Put either hits in memory or reloads; the
+// partition is always known afterwards, and hit+miss counts equal accesses.
+func TestAccessAccountingProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		a, _ := newAlloc(5000, AMM, accMap{})
+		puts := 0
+		var accesses int64
+		for i, op := range ops {
+			if op%3 == 0 || puts == 0 {
+				a.Put(key(puts), int64(op)%2000+1, float64(i))
+				puts++
+				continue
+			}
+			target := key(int(op) % puts)
+			if _, _, err := a.Access(target, float64(i)); err != nil {
+				return false
+			}
+			accesses++
+		}
+		m := a.Metrics()
+		return m.Hits+m.Misses == accesses
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package scheduler
+
+import (
+	"testing"
+
+	"metadataflow/internal/graph"
+)
+
+// hintStages builds standalone stages whose first op carries the hint
+// values; enough for exercising Hint.Order.
+func hintStages(hints ...float64) []*graph.Stage {
+	out := make([]*graph.Stage, len(hints))
+	for i, h := range hints {
+		out[i] = &graph.Stage{ID: i, Ops: []*graph.Operator{{ID: i, Hint: h}}}
+	}
+	return out
+}
+
+func firstHint(stages []*graph.Stage) float64 { return stages[0].First().Hint }
+
+func TestModelHintProbesExtremesFirst(t *testing.T) {
+	h := ModelHint(true)
+	stages := hintStages(1, 2, 3, 4, 5)
+	ordered := h.Order(stages)
+	if fh := firstHint(ordered); fh != 1 && fh != 5 {
+		t.Fatalf("probe phase should start at an extreme, got hint %v", fh)
+	}
+}
+
+func TestModelHintPredictsAfterObservations(t *testing.T) {
+	h := ModelHint(true).(*modelHint)
+	// Concave landscape with the peak at hint 6: score = -(h-6)^2.
+	for _, obs := range []float64{0, 3, 12} {
+		h.ObserveScore(nil, obs, -(obs-6)*(obs-6))
+	}
+	ordered := h.Order(hintStages(1, 2, 4, 5, 6, 7, 8, 10, 11))
+	if fh := firstHint(ordered); fh != 6 {
+		t.Fatalf("model should schedule the predicted peak first, got hint %v", fh)
+	}
+	// Minimisation flips the preference.
+	m := ModelHint(false).(*modelHint)
+	for _, obs := range []float64{0, 3, 12} {
+		m.ObserveScore(nil, obs, (obs-6)*(obs-6))
+	}
+	ordered = m.Order(hintStages(1, 6, 11))
+	if fh := firstHint(ordered); fh != 6 {
+		t.Fatalf("model (minimise) should schedule the valley first, got hint %v", fh)
+	}
+}
+
+func TestModelHintDegenerateObservations(t *testing.T) {
+	h := ModelHint(true).(*modelHint)
+	// Three observations at the same hint value: singular fit, must not
+	// panic and must still return all candidates.
+	h.ObserveScore(nil, 2, 1)
+	h.ObserveScore(nil, 2, 2)
+	h.ObserveScore(nil, 2, 3)
+	// Map keying collapses them to one observation; feed two more equal
+	// points to stay under the fit threshold, then a singular triple.
+	h.scores = map[float64]float64{1: 5, 2: 5, 3: 5}
+	ordered := h.Order(hintStages(1, 2, 3))
+	if len(ordered) != 3 {
+		t.Fatalf("lost candidates: %d", len(ordered))
+	}
+}
+
+func TestBinarySearchHintBracketsOptimum(t *testing.T) {
+	h := BinarySearchHint(false).(*binarySearchHint)
+	// Convex landscape, minimum at 5.
+	h.ObserveScore(nil, 0, 25)
+	h.ObserveScore(nil, 10, 25)
+	h.ObserveScore(nil, 2, 9)
+	// Best so far is 2, bracket [0, 10]: midpoint 5.
+	ordered := h.Order(hintStages(1, 3, 5, 7, 9))
+	if fh := firstHint(ordered); fh != 5 {
+		t.Fatalf("binary search should probe the bracket midpoint, got %v", fh)
+	}
+}
+
+func TestBinarySearchHintProbesExtremesFirst(t *testing.T) {
+	h := BinarySearchHint(false)
+	ordered := h.Order(hintStages(1, 2, 3, 4, 9))
+	if fh := firstHint(ordered); fh != 1 && fh != 9 {
+		t.Fatalf("first probe should be an extreme, got %v", fh)
+	}
+}
+
+func TestStatefulHintsNotSorted(t *testing.T) {
+	if ModelHint(true).Sorted() || BinarySearchHint(true).Sorted() {
+		t.Fatal("stateful hints must not claim sorted order")
+	}
+}
+
+func TestBASForwardsScores(t *testing.T) {
+	h := ModelHint(true).(*modelHint)
+	pol := BAS(h)
+	sa, ok := pol.(ScoreAware)
+	if !ok {
+		t.Fatal("BAS must be score-aware")
+	}
+	sa.ObserveScore(nil, 3, 1.5)
+	if h.scores[3] != 1.5 {
+		t.Fatal("score not forwarded to hint")
+	}
+}

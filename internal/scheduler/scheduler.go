@@ -1,0 +1,210 @@
+// Package scheduler implements stage scheduling for MDFs (§4.2): the
+// breadth-first baseline used by existing dataflow systems and the
+// branch-aware scheduling (BAS) algorithm (Alg. 1), which traverses the MDF
+// breadth-first but executes the branches of an explore depth-first so that
+// choose operators evaluate as early as possible.
+//
+// The engine owns the scheduling loop of Alg. 1 (the sets T_exec, T_open and
+// T_cand); a Policy implements line 5, hinted_scheduling: given the current
+// candidates and the last executed stage, pick the stage to run next.
+package scheduler
+
+import (
+	"sort"
+
+	"metadataflow/internal/graph"
+	"metadataflow/internal/stats"
+)
+
+// Policy picks the next stage to execute.
+type Policy interface {
+	// Name labels the policy in results.
+	Name() string
+	// Init prepares the policy for a plan; called once per run.
+	Init(p *graph.Plan)
+	// Pick selects the stage to execute next. ready is the non-empty set
+	// of stages whose predecessors have all executed or been pruned,
+	// sorted by stage ID; last is the stage executed most recently (nil at
+	// the start).
+	Pick(ready []*graph.Stage, last *graph.Stage) *graph.Stage
+	// SortedBranches reports whether the policy executes the branches of
+	// an explore in the explorable's sorted order, enabling the
+	// monotone/convex pruning of Tab. 1.
+	SortedBranches() bool
+}
+
+// Hint orders the candidate branches of an explore (§4.2: scheduling hints
+// derived from choose properties, domain knowledge, or learned models).
+type Hint interface {
+	// Name labels the hint.
+	Name() string
+	// Order returns the candidates in preferred execution order.
+	Order(cands []*graph.Stage) []*graph.Stage
+	// Sorted reports whether the order follows the explorable's sorted
+	// parameter order (the condition for property-based pruning).
+	Sorted() bool
+}
+
+// DefaultHint executes branches in definition order.
+func DefaultHint() Hint { return defaultHint{} }
+
+type defaultHint struct{}
+
+func (defaultHint) Name() string { return "default" }
+func (defaultHint) Sorted() bool { return false }
+func (defaultHint) Order(cands []*graph.Stage) []*graph.Stage {
+	out := append([]*graph.Stage(nil), cands...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SortedHint executes branches by ascending (or descending) explorable hint
+// value carried on the branch-head operators; used with monotone or convex
+// evaluators (§4.2, Fig. 8 "first-4, sorted").
+func SortedHint(descending bool) Hint { return sortedHint{desc: descending} }
+
+type sortedHint struct{ desc bool }
+
+func (sortedHint) Name() string { return "sorted" }
+func (sortedHint) Sorted() bool { return true }
+func (h sortedHint) Order(cands []*graph.Stage) []*graph.Stage {
+	out := append([]*graph.Stage(nil), cands...)
+	sort.SliceStable(out, func(i, j int) bool {
+		hi, hj := out[i].First().Hint, out[j].First().Hint
+		if hi == hj {
+			return out[i].ID < out[j].ID
+		}
+		if h.desc {
+			return hi > hj
+		}
+		return hi < hj
+	})
+	return out
+}
+
+// RandomHint executes branches in a seeded random order (Fig. 8 "first-4,
+// random"; random search in hyper-parameter optimisation [5]).
+func RandomHint(seed int64) Hint { return &randomHint{rng: stats.NewRNG(seed)} }
+
+type randomHint struct{ rng *stats.RNG }
+
+func (*randomHint) Name() string { return "random" }
+func (*randomHint) Sorted() bool { return false }
+func (h *randomHint) Order(cands []*graph.Stage) []*graph.Stage {
+	out := append([]*graph.Stage(nil), cands...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	perm := h.rng.Perm(len(out))
+	shuffled := make([]*graph.Stage, len(out))
+	for i, p := range perm {
+		shuffled[i] = out[p]
+	}
+	return shuffled
+}
+
+// PriorityHint orders branches by a user-supplied comparison; supports
+// stateful, model-based prioritisation (§4.2(iii)).
+func PriorityHint(name string, less func(a, b *graph.Stage) bool, sorted bool) Hint {
+	return priorityHint{name: name, less: less, sorted: sorted}
+}
+
+type priorityHint struct {
+	name   string
+	less   func(a, b *graph.Stage) bool
+	sorted bool
+}
+
+func (h priorityHint) Name() string { return h.name }
+func (h priorityHint) Sorted() bool { return h.sorted }
+func (h priorityHint) Order(cands []*graph.Stage) []*graph.Stage {
+	out := append([]*graph.Stage(nil), cands...)
+	sort.SliceStable(out, h.sortLess(out))
+	return out
+}
+
+func (h priorityHint) sortLess(out []*graph.Stage) func(i, j int) bool {
+	return func(i, j int) bool { return h.less(out[i], out[j]) }
+}
+
+// BFS is the baseline breadth-first stage scheduler (§4.2): all stages of a
+// depth level execute before any stage of the next level.
+func BFS() Policy { return &bfs{} }
+
+type bfs struct {
+	level map[int]int
+}
+
+func (*bfs) Name() string         { return "BFS" }
+func (*bfs) SortedBranches() bool { return false }
+func (b *bfs) Init(p *graph.Plan) {
+	// Level = longest path from a source stage.
+	b.level = make(map[int]int, len(p.Stages))
+	for _, st := range p.Stages { // stage IDs are topologically ordered
+		lvl := 0
+		for _, pre := range p.Pre(st) {
+			if b.level[pre.ID]+1 > lvl {
+				lvl = b.level[pre.ID] + 1
+			}
+		}
+		b.level[st.ID] = lvl
+	}
+}
+
+func (b *bfs) Pick(ready []*graph.Stage, last *graph.Stage) *graph.Stage {
+	best := ready[0]
+	for _, st := range ready[1:] {
+		if b.level[st.ID] < b.level[best.ID] ||
+			(b.level[st.ID] == b.level[best.ID] && st.ID < best.ID) {
+			best = st
+		}
+	}
+	return best
+}
+
+// BAS is branch-aware scheduling (Alg. 1): depth-first within explore
+// branches, ordered by the hint.
+func BAS(hint Hint) Policy {
+	if hint == nil {
+		hint = DefaultHint()
+	}
+	return &bas{hint: hint}
+}
+
+type bas struct {
+	hint Hint
+	plan *graph.Plan
+}
+
+func (b *bas) Name() string         { return "BAS" }
+func (b *bas) SortedBranches() bool { return b.hint.Sorted() }
+func (b *bas) Init(p *graph.Plan)   { b.plan = p }
+
+// ObserveScore implements ScoreAware by forwarding evaluator scores to a
+// stateful hint.
+func (b *bas) ObserveScore(chooseOp *graph.Operator, hint, score float64) {
+	if sa, ok := b.hint.(ScoreAware); ok {
+		sa.ObserveScore(chooseOp, hint, score)
+	}
+}
+
+// Pick implements hinted_scheduling (Alg. 1, line 5). The engine's
+// candidate management already realises lines 13–15: ready contains the
+// stages whose predecessors are done. BAS prefers successors of the last
+// executed stage (depth-first within a branch); among several candidates —
+// which happens at branch heads — the hint decides.
+func (b *bas) Pick(ready []*graph.Stage, last *graph.Stage) *graph.Stage {
+	if last != nil {
+		var succ []*graph.Stage
+		for _, st := range ready {
+			for _, pre := range b.plan.Pre(st) {
+				if pre.ID == last.ID {
+					succ = append(succ, st)
+					break
+				}
+			}
+		}
+		if len(succ) > 0 {
+			return b.hint.Order(succ)[0]
+		}
+	}
+	return b.hint.Order(ready)[0]
+}

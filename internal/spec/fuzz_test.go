@@ -1,0 +1,30 @@
+package spec
+
+import "testing"
+
+// FuzzParse ensures the parser never panics on arbitrary input and that any
+// document it accepts also compiles to a valid graph.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(sampleSpec))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"source":{"rows":5},"pipeline":[{"op":{"name":"x"}}]}`))
+	f.Add([]byte(`{"source":{"rows":5},"pipeline":[{"explore":{"name":"e",
+	  "branches":[{"label":"a"},{"label":"b"}],
+	  "body":[{"op":{"name":"y"}}],
+	  "choose":{"selector":{"kind":"max"}}}}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		g, err := s.Compile()
+		if err != nil {
+			// A structurally valid spec may still fail graph validation
+			// (e.g. degenerate explores); it must fail cleanly.
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("compiled graph invalid: %v", err)
+		}
+	})
+}

@@ -1,0 +1,360 @@
+package spec
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"metadataflow/internal/baseline"
+	"metadataflow/internal/cluster"
+	"metadataflow/internal/engine"
+	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/scheduler"
+)
+
+const sampleSpec = `{
+  "name": "demo",
+  "source": {"rows": 2000, "partitions": 4, "virtualBytes": 268435456, "distribution": "normal", "seed": 3},
+  "pipeline": [
+    {"op": {"name": "standardize", "fn": "standardize", "costPerMB": 0.003}},
+    {"explore": {
+      "name": "outlier",
+      "branches": [
+        {"label": "k=3.0", "hint": 3.0, "params": {"limit": 3.0}},
+        {"label": "k=2.0", "hint": 2.0, "params": {"limit": 2.0}},
+        {"label": "k=1.0", "hint": 1.0, "params": {"limit": 1.0}}
+      ],
+      "body": [
+        {"op": {"name": "filter", "fn": "filter-absless", "paramKey": "limit", "costPerMB": 0.002}}
+      ],
+      "choose": {"evaluator": "ratio", "monotone": true,
+                 "selector": {"kind": "kthreshold", "k": 1, "bound": 0.9}}
+    }},
+    {"op": {"name": "sink", "fn": "identity"}}
+  ]
+}`
+
+func TestParseAndCompile(t *testing.T) {
+	s, err := Parse([]byte(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "demo" || len(s.Pipeline) != 3 {
+		t.Fatalf("unexpected parse result: %+v", s)
+	}
+	g, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Explores()) != 1 || len(g.Chooses()) != 1 {
+		t.Fatal("explore/choose missing from compiled graph")
+	}
+}
+
+func TestCompiledSpecExecutes(t *testing.T) {
+	s, err := Parse([]byte(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.DefaultConfig()
+	cfg.Workers = 4
+	res, err := engine.Execute(g, engine.Options{
+		Cluster:     cluster.MustNew(cfg),
+		Policy:      memorymgr.AMM,
+		Scheduler:   scheduler.BAS(scheduler.SortedHint(true)),
+		Incremental: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=3.0 keeps ~99.7% of standardized normals: the first branch in
+	// descending-hint order passes >= 0.9, so the other two are pruned.
+	if res.Metrics.BranchesPruned != 2 {
+		t.Errorf("branches pruned = %d, want 2", res.Metrics.BranchesPruned)
+	}
+	if got := float64(res.Output.NumRows()) / 2000; got < 0.99 {
+		t.Errorf("kept ratio = %v, want >= 0.99", got)
+	}
+}
+
+func TestCompiledSpecExpands(t *testing.T) {
+	s, err := Parse([]byte(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := baseline.ExpandJobs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("expanded %d jobs, want 3", len(jobs))
+	}
+}
+
+func TestNestedExploreSpec(t *testing.T) {
+	nested := `{
+	  "name": "nested",
+	  "source": {"rows": 500, "partitions": 2},
+	  "pipeline": [
+	    {"explore": {
+	      "name": "outer",
+	      "branches": [{"label": "a", "params": {"s": 1}}, {"label": "b", "params": {"s": 2}}],
+	      "body": [
+	        {"op": {"name": "scale", "fn": "affine", "a": 1, "paramKey": "s"}},
+	        {"explore": {
+	          "name": "inner",
+	          "branches": [{"label": "x", "params": {"l": 0.5}}, {"label": "y", "params": {"l": 1.5}}],
+	          "body": [{"op": {"name": "f", "fn": "filter-absless", "paramKey": "l"}}],
+	          "choose": {"evaluator": "size", "selector": {"kind": "max"}}
+	        }}
+	      ],
+	      "choose": {"evaluator": "size", "selector": {"kind": "max"}}
+	    }},
+	    {"op": {"name": "sink", "fn": "identity"}}
+	  ]
+	}`
+	s, err := Parse([]byte(nested))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scopes, err := g.MatchScopes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scopes) != 3 {
+		t.Fatalf("scopes = %d, want 3 (outer + 2 inner)", len(scopes))
+	}
+	jobs, err := baseline.ExpandJobs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 4 {
+		t.Fatalf("expanded %d jobs, want 4", len(jobs))
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad json":        `{`,
+		"no rows":         `{"source": {"rows": 0}, "pipeline": [{"op": {"name": "x"}}]}`,
+		"empty pipeline":  `{"source": {"rows": 10}, "pipeline": []}`,
+		"both op/explore": `{"source": {"rows": 10}, "pipeline": [{"op": {"name": "x"}, "explore": {"name": "e", "branches": [{"label":"a"},{"label":"b"}], "body": [{"op":{"name":"y"}}], "choose": {"selector": {"kind":"max"}}}}]}`,
+		"neither":         `{"source": {"rows": 10}, "pipeline": [{}]}`,
+		"one branch":      `{"source": {"rows": 10}, "pipeline": [{"explore": {"name": "e", "branches": [{"label":"a"}], "body": [{"op":{"name":"y"}}], "choose": {"selector": {"kind":"max"}}}}]}`,
+		"empty body":      `{"source": {"rows": 10}, "pipeline": [{"explore": {"name": "e", "branches": [{"label":"a"},{"label":"b"}], "body": [], "choose": {"selector": {"kind":"max"}}}}]}`,
+		"bad selector":    `{"source": {"rows": 10}, "pipeline": [{"explore": {"name": "e", "branches": [{"label":"a"},{"label":"b"}], "body": [{"op":{"name":"y"}}], "choose": {"selector": {"kind":"zzz"}}}}]}`,
+		"bad evaluator":   `{"source": {"rows": 10}, "pipeline": [{"explore": {"name": "e", "branches": [{"label":"a"},{"label":"b"}], "body": [{"op":{"name":"y"}}], "choose": {"evaluator": "zzz", "selector": {"kind":"max"}}}}]}`,
+		"bad op fn":       `{"source": {"rows": 10}, "pipeline": [{"op": {"name": "x", "fn": "teleport"}}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestAllOpFns(t *testing.T) {
+	for _, fn := range []string{
+		"identity", "affine", "square", "abs",
+		"filter-less", "filter-greater", "filter-absless",
+		"normalize", "standardize",
+	} {
+		doc := `{"source": {"rows": 100, "partitions": 2},
+		         "pipeline": [{"op": {"name": "x", "fn": "` + fn + `", "a": 1, "limit": 1}}]}`
+		s, err := Parse([]byte(doc))
+		if err != nil {
+			t.Errorf("%s: %v", fn, err)
+			continue
+		}
+		g, err := s.Compile()
+		if err != nil {
+			t.Errorf("%s: compile: %v", fn, err)
+			continue
+		}
+		cfg := cluster.DefaultConfig()
+		cfg.Workers = 2
+		if _, err := engine.Execute(g, engine.Options{
+			Cluster: cluster.MustNew(cfg), Policy: memorymgr.LRU,
+			Scheduler: scheduler.BFS(),
+		}); err != nil {
+			t.Errorf("%s: execute: %v", fn, err)
+		}
+	}
+}
+
+func TestAllSelectors(t *testing.T) {
+	for _, sel := range []string{
+		`{"kind": "topk", "k": 2}`, `{"kind": "bottomk", "k": 2}`,
+		`{"kind": "min"}`, `{"kind": "max"}`,
+		`{"kind": "threshold", "bound": 10}`, `{"kind": "interval", "lo": 0, "hi": 1e9}`,
+		`{"kind": "kthreshold", "k": 1, "bound": 1}`, `{"kind": "kinterval", "k": 1, "lo": 0, "hi": 1e9}`,
+		`{"kind": "mode"}`,
+	} {
+		doc := `{"source": {"rows": 200, "partitions": 2},
+		  "pipeline": [
+		    {"explore": {"name": "e",
+		      "branches": [{"label":"a","params":{"l":0.5}},{"label":"b","params":{"l":1.0}},{"label":"c","params":{"l":2.0}}],
+		      "body": [{"op": {"name": "f", "fn": "filter-absless", "paramKey": "l"}}],
+		      "choose": {"evaluator": "size", "selector": ` + sel + `}}},
+		    {"op": {"name": "sink", "fn": "identity"}}
+		  ]}`
+		s, err := Parse([]byte(doc))
+		if err != nil {
+			t.Errorf("%s: %v", sel, err)
+			continue
+		}
+		g, err := s.Compile()
+		if err != nil {
+			t.Errorf("%s: compile: %v", sel, err)
+			continue
+		}
+		cfg := cluster.DefaultConfig()
+		cfg.Workers = 2
+		if _, err := engine.Execute(g, engine.Options{
+			Cluster: cluster.MustNew(cfg), Policy: memorymgr.AMM,
+			Scheduler: scheduler.BAS(nil), Incremental: true,
+		}); err != nil {
+			t.Errorf("%s: execute: %v", sel, err)
+		}
+	}
+}
+
+func TestIterateStepSpec(t *testing.T) {
+	doc := `{
+	  "source": {"rows": 400, "partitions": 2, "seed": 2},
+	  "pipeline": [
+	    {"explore": {"name": "growth",
+	      "branches": [{"label": "slow", "params": {"g": 1.05}}, {"label": "fast", "params": {"g": 3.0}}],
+	      "body": [
+	        {"iterate": {"name": "grow", "rounds": 6, "divergeAboveMeanAbs": 10,
+	          "op": {"name": "scale", "fn": "affine", "paramKey": "g"}}}
+	      ],
+	      "choose": {"evaluator": "neg-mean-abs", "selector": {"kind": "max"}}}},
+	    {"op": {"name": "sink", "fn": "identity"}}
+	  ]
+	}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.DefaultConfig()
+	cfg.Workers = 2
+	res, err := engine.Execute(g, engine.Options{
+		Cluster: cluster.MustNew(cfg), Policy: memorymgr.AMM,
+		Scheduler: scheduler.BAS(nil), Incremental: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fast-growth branch diverges past mean |x| = 10 and terminates;
+	// the slow branch survives and is selected (higher neg-mean-abs).
+	if res.Output.NumRows() == 0 {
+		t.Fatal("diverging branch selected: output empty")
+	}
+}
+
+func TestIterateStepValidation(t *testing.T) {
+	bad := `{"source": {"rows": 10}, "pipeline": [
+	  {"iterate": {"name": "x", "rounds": 0, "op": {"name": "y"}}}]}`
+	if _, err := Parse([]byte(bad)); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	both := `{"source": {"rows": 10}, "pipeline": [
+	  {"op": {"name": "a"}, "iterate": {"name": "x", "rounds": 1, "op": {"name": "y"}}}]}`
+	if _, err := Parse([]byte(both)); err == nil {
+		t.Error("op+iterate in one step accepted")
+	}
+}
+
+func TestFileSource(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/values.txt"
+	if err := os.WriteFile(path, []byte("# comment\n1.5\n2.5\n\n3.5\n4.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := `{"source": {"file": ` + fmt.Sprintf("%q", path) + `, "partitions": 2},
+	  "pipeline": [{"op": {"name": "keep", "fn": "filter-greater", "limit": 2.0}}]}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.DefaultConfig()
+	cfg.Workers = 2
+	res, err := engine.Execute(g, engine.Options{
+		Cluster: cluster.MustNew(cfg), Policy: memorymgr.LRU,
+		Scheduler: scheduler.BFS(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.NumRows() != 3 {
+		t.Errorf("rows = %d, want 3 (values > 2.0)", res.Output.NumRows())
+	}
+}
+
+func TestFileSourceCapAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/values.txt"
+	os.WriteFile(path, []byte("1\n2\n3\n4\n5\n"), 0o644)
+	doc := `{"source": {"file": ` + fmt.Sprintf("%q", path) + `, "rows": 2},
+	  "pipeline": [{"op": {"name": "id"}}]}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.DefaultConfig()
+	cfg.Workers = 2
+	res, err := engine.Execute(g, engine.Options{
+		Cluster: cluster.MustNew(cfg), Policy: memorymgr.LRU, Scheduler: scheduler.BFS(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.NumRows() != 2 {
+		t.Errorf("rows = %d, want 2 (capped)", res.Output.NumRows())
+	}
+	// Missing file and malformed values fail at execution time.
+	for _, body := range []string{"not-a-number\n", ""} {
+		os.WriteFile(path, []byte(body), 0o644)
+		s, err := Parse([]byte(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := s.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := engine.Execute(g, engine.Options{
+			Cluster: cluster.MustNew(cfg), Policy: memorymgr.LRU, Scheduler: scheduler.BFS(),
+		}); err == nil {
+			t.Errorf("body %q: expected execution error", body)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package stats provides the shared numeric helpers used by the workloads
+// and the experiment harness: summary statistics, histograms, and seeded
+// random variate generation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the minimum and maximum of xs; it panics on empty input.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by linear
+// interpolation; it panics on empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Summary is a min/avg/max triple; the paper reports the average of 3 runs
+// with min and max as error bars (§6).
+type Summary struct {
+	Min, Avg, Max float64
+}
+
+// Summarize computes a Summary over xs; it panics on empty input.
+func Summarize(xs []float64) Summary {
+	lo, hi := MinMax(xs)
+	return Summary{Min: lo, Avg: Mean(xs), Max: hi}
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("%.2f [%.2f, %.2f]", s.Avg, s.Min, s.Max)
+}
+
+// Histogram counts xs into bins uniform bins over [lo, hi). Values outside
+// the range are clamped into the first or last bin.
+func Histogram(xs []float64, lo, hi float64, bins int) []int {
+	if bins < 1 {
+		panic("stats: Histogram needs at least one bin")
+	}
+	counts := make([]int, bins)
+	width := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		i := int((x - lo) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	return counts
+}
+
+// RNG wraps a seeded source of the random variates used by the synthetic
+// data generators. A nil RNG is not usable; construct with NewRNG.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG { return &RNG{r: rand.New(rand.NewSource(seed))} }
+
+// Float64 returns a uniform variate in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Uniform returns a uniform variate in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 { return lo + (hi-lo)*g.r.Float64() }
+
+// Normal returns a normal variate with the given mean and standard
+// deviation.
+func (g *RNG) Normal(mean, std float64) float64 { return mean + std*g.r.NormFloat64() }
+
+// Intn returns a uniform integer in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Exponential returns an exponential variate with the given rate.
+func (g *RNG) Exponential(rate float64) float64 { return g.r.ExpFloat64() / rate }

@@ -1,0 +1,176 @@
+package synthetic_test
+
+import (
+	"testing"
+
+	"metadataflow/internal/baseline"
+	"metadataflow/internal/cluster"
+	"metadataflow/internal/engine"
+	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/scheduler"
+	"metadataflow/internal/workload/synthetic"
+)
+
+func smallParams() synthetic.Params {
+	p := synthetic.Defaults()
+	p.Rows = 400
+	p.Partitions = 4
+	p.VirtualBytes = 1 << 28
+	p.OuterBranches = 3
+	p.InnerBranches = 3
+	return p
+}
+
+func testCluster() *cluster.Cluster {
+	cfg := cluster.DefaultConfig()
+	cfg.Workers = 4
+	cfg.MemPerWorker = 1 << 30
+	return cluster.MustNew(cfg)
+}
+
+func TestBuildMDFValidates(t *testing.T) {
+	g, err := synthetic.BuildMDF(smallParams())
+	if err != nil {
+		t.Fatalf("BuildMDF: %v", err)
+	}
+	scopes, err := g.MatchScopes()
+	if err != nil {
+		t.Fatalf("MatchScopes: %v", err)
+	}
+	// One outer scope plus one inner scope per outer branch.
+	if want := 1 + 3; len(scopes) != want {
+		t.Errorf("scopes = %d, want %d", len(scopes), want)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	p := smallParams()
+	p.OuterBranches = 1
+	if _, err := synthetic.BuildMDF(p); err == nil {
+		t.Error("outer branching factor 1 should be rejected")
+	}
+	p = smallParams()
+	p.OpsPerItem = 0
+	if _, err := synthetic.BuildMDF(p); err == nil {
+		t.Error("zero ops per item should be rejected")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := synthetic.Generate(smallParams())
+	b := synthetic.Generate(smallParams())
+	if a.NumRows() != b.NumRows() {
+		t.Fatalf("row counts differ: %d vs %d", a.NumRows(), b.NumRows())
+	}
+	ar, br := a.Rows(), b.Rows()
+	for i := range ar {
+		if ar[i].(synthetic.Pair) != br[i].(synthetic.Pair) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	if a.VirtualBytes() != smallParams().VirtualBytes {
+		t.Errorf("virtual bytes = %d, want %d", a.VirtualBytes(), smallParams().VirtualBytes)
+	}
+}
+
+func TestRunMDFEndToEnd(t *testing.T) {
+	g, err := synthetic.BuildMDF(smallParams())
+	if err != nil {
+		t.Fatalf("BuildMDF: %v", err)
+	}
+	res, err := engine.Execute(g, engine.Options{
+		Cluster:     testCluster(),
+		Policy:      memorymgr.AMM,
+		Scheduler:   scheduler.BAS(nil),
+		Incremental: true,
+	})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Output == nil || res.Output.NumRows() == 0 {
+		t.Fatal("no output produced")
+	}
+	if res.Output.NumRows() != 400 {
+		t.Errorf("output rows = %d, want 400 (selection forwards one branch)", res.Output.NumRows())
+	}
+	if res.CompletionTime() <= 0 {
+		t.Error("non-positive completion time")
+	}
+}
+
+func TestExpandMatchesCombinationCount(t *testing.T) {
+	p := smallParams()
+	g, err := synthetic.BuildMDF(p)
+	if err != nil {
+		t.Fatalf("BuildMDF: %v", err)
+	}
+	jobs, err := baseline.ExpandJobs(g)
+	if err != nil {
+		t.Fatalf("ExpandJobs: %v", err)
+	}
+	if want := p.OuterBranches * p.InnerBranches; len(jobs) != want {
+		t.Fatalf("expanded jobs = %d, want %d", len(jobs), want)
+	}
+	for i, job := range jobs {
+		if err := job.Validate(); err != nil {
+			t.Errorf("job %d invalid: %v", i, err)
+		}
+		if len(job.Explores()) != 0 || len(job.Chooses()) != 0 {
+			t.Errorf("job %d still contains explore/choose operators", i)
+		}
+	}
+}
+
+func TestSequentialSlowerThanMDF(t *testing.T) {
+	p := smallParams()
+	g, err := synthetic.BuildMDF(p)
+	if err != nil {
+		t.Fatalf("BuildMDF: %v", err)
+	}
+	jobs, err := baseline.ExpandJobs(g)
+	if err != nil {
+		t.Fatalf("ExpandJobs: %v", err)
+	}
+	seq, err := baseline.Sequential(jobs, baseline.Config{
+		Cluster: testCluster(), Policy: memorymgr.LRU,
+	})
+	if err != nil {
+		t.Fatalf("Sequential: %v", err)
+	}
+	mdfRes, err := baseline.SingleJob(g, baseline.Config{
+		Cluster: testCluster(), Policy: memorymgr.AMM,
+		NewScheduler: func() scheduler.Policy { return scheduler.BAS(nil) },
+		Incremental:  true,
+	})
+	if err != nil {
+		t.Fatalf("SingleJob: %v", err)
+	}
+	if mdfRes.CompletionTime() >= seq.CompletionTime {
+		t.Errorf("MDF (%0.1fs) should beat sequential (%0.1fs)",
+			mdfRes.CompletionTime(), seq.CompletionTime)
+	}
+}
+
+func TestParallelFasterThanSequential(t *testing.T) {
+	p := smallParams()
+	g, err := synthetic.BuildMDF(p)
+	if err != nil {
+		t.Fatalf("BuildMDF: %v", err)
+	}
+	jobs, err := baseline.ExpandJobs(g)
+	if err != nil {
+		t.Fatalf("ExpandJobs: %v", err)
+	}
+	seq, err := baseline.Sequential(jobs, baseline.Config{Cluster: testCluster(), Policy: memorymgr.LRU})
+	if err != nil {
+		t.Fatalf("Sequential: %v", err)
+	}
+	par, err := baseline.Parallel(jobs, 4, baseline.Config{Cluster: testCluster(), Policy: memorymgr.LRU})
+	if err != nil {
+		t.Fatalf("Parallel: %v", err)
+	}
+	if par.CompletionTime >= seq.CompletionTime {
+		t.Errorf("4-parallel (%0.1fs) should beat sequential (%0.1fs)",
+			par.CompletionTime, seq.CompletionTime)
+	}
+}

@@ -1,0 +1,409 @@
+// Package timeseries implements the time series analysis workload of §6
+// (workload 2, Fig. 22): masking data points by value ranges within a
+// sliding window, marking discrete events that indicate drastic changes, and
+// detecting sequences of discrete events. The oil-well sensor dataset of the
+// paper is substituted by a synthetic generator reproducing its statistical
+// features (baseline drift, periodic component, heteroscedastic noise,
+// injected events).
+package timeseries
+
+import (
+	"fmt"
+	"math"
+
+	"metadataflow/internal/dataset"
+	"metadataflow/internal/graph"
+	"metadataflow/internal/mdf"
+	"metadataflow/internal/stats"
+)
+
+// Point is one sensor measurement.
+type Point struct {
+	T int64
+	V float64
+}
+
+// Event is a detected discrete event.
+type Event struct {
+	Start, End int64
+	Magnitude  float64
+}
+
+// Params configures the time series MDF.
+type Params struct {
+	// Rows is the number of measurements (the paper uses ~1 M).
+	Rows int
+	// Partitions is the dataset partition count.
+	Partitions int
+	// VirtualBytes is the accounted input size.
+	VirtualBytes int64
+	// WindowLengths (W) and Thresholds (T) are the masking explorables;
+	// MarkWindows (L), MagDiffs (M) and Durations (D) the marking and
+	// detection explorables. {W, T} form a first exploration scope closed
+	// early by the masking-aggressiveness choose (Ex. 3.5 pattern); the
+	// cross product of {L, M, D} forms a second scope over the surviving
+	// data (§6 Fig. 7 explores their full product as separate jobs).
+	WindowLengths []int
+	Thresholds    []float64
+	MarkWindows   []int
+	MagDiffs      []float64
+	Durations     []int
+	// MaskKeepRatio bounds masking aggressiveness: a branch qualifies when
+	// it keeps at least this fraction of the points.
+	MaskKeepRatio float64
+	// MaskKeepUpper, when < 1, additionally requires the masking to remove
+	// something: branches keeping more than this fraction are rejected and
+	// the masking choose becomes an interval selection (§3.1).
+	MaskKeepUpper float64
+	// Seed drives the generator.
+	Seed int64
+}
+
+// Defaults returns a 64-branch configuration (4 inner × 16 outer).
+func Defaults() Params {
+	return Params{
+		Rows:          20000,
+		Partitions:    8,
+		VirtualBytes:  4 << 30,
+		WindowLengths: []int{2, 5},
+		Thresholds:    []float64{1.001, 1.1},
+		MarkWindows:   []int{2, 6},
+		MagDiffs:      []float64{0.5, 2.0},
+		Durations:     []int{50, 200, 500, 1000},
+		MaskKeepRatio: 0.3,
+		MaskKeepUpper: 0.9,
+		Seed:          1,
+	}
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	if p.Rows < 100 || p.Partitions < 1 {
+		return fmt.Errorf("timeseries: need >= 100 rows and >= 1 partition")
+	}
+	if len(p.WindowLengths)*len(p.Thresholds) < 2 {
+		return fmt.Errorf("timeseries: masking explore needs >= 2 branches")
+	}
+	if len(p.MarkWindows)*len(p.MagDiffs)*len(p.Durations) < 2 {
+		return fmt.Errorf("timeseries: marking explore needs >= 2 branches")
+	}
+	if p.MaskKeepRatio <= 0 || p.MaskKeepRatio > 1 {
+		return fmt.Errorf("timeseries: keep ratio %g out of (0, 1]", p.MaskKeepRatio)
+	}
+	return nil
+}
+
+// Branches returns the total branch count of the MDF.
+func (p Params) Branches() int {
+	return len(p.WindowLengths) * len(p.Thresholds) *
+		len(p.MarkWindows) * len(p.MagDiffs) * len(p.Durations)
+}
+
+// Generate produces a synthetic well-sensor series: slow drift + periodic
+// component + noise whose variance shifts by regime, with injected spikes.
+func Generate(p Params) *dataset.Dataset {
+	rng := stats.NewRNG(p.Seed)
+	rows := make([]dataset.Row, p.Rows)
+	level := 100.0
+	noise := 0.3
+	for i := range rows {
+		if rng.Float64() < 0.001 {
+			level += rng.Normal(0, 5) // regime change
+			noise = 0.1 + rng.Float64()
+		}
+		v := level +
+			0.002*float64(i) + // drift
+			2*math.Sin(float64(i)/500) + // periodic
+			rng.Normal(0, noise)
+		if rng.Float64() < 0.002 {
+			v += rng.Normal(0, 12) // spike event
+		}
+		rows[i] = Point{T: int64(i), V: v}
+	}
+	d := dataset.FromRows("well-sensor", rows, p.Partitions, 16)
+	d.SetVirtualBytes(p.VirtualBytes)
+	return d
+}
+
+// outParts returns a usable partition count for an operator output: the
+// input's, or 1 when the input is empty (e.g. a choose selected nothing).
+func outParts(in *dataset.Dataset) int {
+	if n := in.NumPartitions(); n > 0 {
+		return n
+	}
+	return 1
+}
+
+func points(d *dataset.Dataset) []Point {
+	out := make([]Point, 0, d.NumRows())
+	for _, part := range d.Parts {
+		for _, r := range part.Rows {
+			out = append(out, r.(Point))
+		}
+	}
+	return out
+}
+
+// maskOp keeps points whose sliding window of length w has a max/min ratio
+// above the threshold t: points in "interesting" ranges survive (§6:
+// "masking data points in the series based on the value ranges within a
+// sliding window").
+func maskOp(p Params, w int, t float64) graph.TransformFunc {
+	return mdf.WholeDataset(fmt.Sprintf("mask(w=%d,t=%g)", w, t),
+		func(in *dataset.Dataset) (*dataset.Dataset, error) {
+			pts := points(in)
+			var kept []dataset.Row
+			for i := range pts {
+				lo, hi := pts[i].V, pts[i].V
+				for j := i - w + 1; j <= i; j++ {
+					if j < 0 {
+						continue
+					}
+					lo = math.Min(lo, pts[j].V)
+					hi = math.Max(hi, pts[j].V)
+				}
+				if lo <= 0 {
+					lo = 1e-9
+				}
+				if hi/lo > t {
+					kept = append(kept, pts[i])
+				}
+			}
+			out := dataset.FromRows("masked", kept, outParts(in), 16)
+			if in.NumRows() > 0 {
+				out.SetVirtualBytes(in.VirtualBytes() * int64(len(kept)) / int64(in.NumRows()))
+			}
+			return out, nil
+		})
+}
+
+// markOp marks discrete events: points where the value changes by more than
+// magDiff relative to the median of the preceding window of length l.
+func markOp(l int, magDiff float64) graph.TransformFunc {
+	return mdf.WholeDataset(fmt.Sprintf("mark(l=%d,m=%g)", l, magDiff),
+		func(in *dataset.Dataset) (*dataset.Dataset, error) {
+			pts := points(in)
+			var events []dataset.Row
+			for i := range pts {
+				if i < l {
+					continue
+				}
+				var sum float64
+				for j := i - l; j < i; j++ {
+					sum += pts[j].V
+				}
+				ref := sum / float64(l)
+				if diff := math.Abs(pts[i].V - ref); diff > magDiff {
+					events = append(events, Event{Start: pts[i].T, End: pts[i].T, Magnitude: pts[i].V - ref})
+				}
+			}
+			out := dataset.FromRows("events", events, outParts(in), 24)
+			out.SetVirtualBytes(in.VirtualBytes() / 20)
+			return out, nil
+		})
+}
+
+// detectOp groups marked events into sequences: consecutive events within
+// duration d of each other merge into one detected sequence.
+func detectOp(d int) graph.TransformFunc {
+	return mdf.WholeDataset(fmt.Sprintf("detect(d=%d)", d),
+		func(in *dataset.Dataset) (*dataset.Dataset, error) {
+			var evs []Event
+			for _, part := range in.Parts {
+				for _, r := range part.Rows {
+					evs = append(evs, r.(Event))
+				}
+			}
+			var seqs []dataset.Row
+			var cur *Event
+			for _, e := range evs {
+				if cur != nil && e.Start-cur.End <= int64(d) {
+					cur.End = e.End
+					if math.Abs(e.Magnitude) > math.Abs(cur.Magnitude) {
+						cur.Magnitude = e.Magnitude
+					}
+					continue
+				}
+				if cur != nil {
+					seqs = append(seqs, *cur)
+				}
+				c := e
+				cur = &c
+			}
+			if cur != nil {
+				seqs = append(seqs, *cur)
+			}
+			out := dataset.FromRows("sequences", seqs, outParts(in), 24)
+			out.SetVirtualBytes(in.VirtualBytes() / 4)
+			return out, nil
+		})
+}
+
+// detectionEvaluator scores an outer branch by its number of detected
+// sequences (more distinct detected sequences = richer analysis).
+func detectionEvaluator() mdf.Evaluator {
+	return mdf.Evaluator{
+		Name:      "sequences",
+		Fn:        func(d *dataset.Dataset) float64 { return float64(d.NumRows()) },
+		CostPerMB: 0.0003,
+	}
+}
+
+// maskSelector returns the masking choose's selection function: a threshold
+// on the kept-point ratio (Fig. 22), tightened to an interval when
+// MaskKeepUpper < 1 so that useless maskings (removing nothing) are also
+// rejected.
+func (p Params) maskSelector() mdf.Selector {
+	if p.MaskKeepUpper > 0 && p.MaskKeepUpper < 1 {
+		return mdf.Interval(p.MaskKeepRatio, p.MaskKeepUpper)
+	}
+	return mdf.Threshold(p.MaskKeepRatio, false)
+}
+
+// BuildMDF constructs the time series MDF as two sequential exploration
+// scopes (Fig. 22 with the early scope close of Ex. 3.5): first an explore
+// over the (W, T) masking settings, closed immediately by the
+// masking-aggressiveness choose so that underperforming maskings are
+// discarded before any downstream work; then an explore over the (L, M, D)
+// marking/detection settings on the surviving data, choosing the setting
+// with the most detected sequences. A user running separate jobs must
+// instead execute all |W×T| × |L×M×D| combinations (Fig. 7).
+func BuildMDF(p Params) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	input := Generate(p)
+
+	var maskSpecs []mdf.BranchSpec
+	type wt struct {
+		w int
+		t float64
+	}
+	var wts []wt
+	for wi, w := range p.WindowLengths {
+		for ti, t := range p.Thresholds {
+			maskSpecs = append(maskSpecs, mdf.BranchSpec{
+				Label: fmt.Sprintf("w=%d,t=%g", w, t),
+				Hint:  float64(wi*len(p.Thresholds) + ti),
+			})
+			wts = append(wts, wt{w, t})
+		}
+	}
+	var outSpecs []mdf.BranchSpec
+	type lmd struct {
+		l int
+		m float64
+		d int
+	}
+	var lmds []lmd
+	i := 0
+	for _, l := range p.MarkWindows {
+		for _, m := range p.MagDiffs {
+			for _, d := range p.Durations {
+				outSpecs = append(outSpecs, mdf.BranchSpec{
+					Label: fmt.Sprintf("l=%d,m=%g,d=%d", l, m, d),
+					Hint:  float64(i),
+				})
+				lmds = append(lmds, lmd{l, m, d})
+				i++
+			}
+		}
+	}
+
+	maskEval := mdf.RatioEvaluator(p.Rows)
+	maskEval.CostPerMB = 0.0002
+	b := mdf.NewBuilder()
+	src := b.Source("src", mdf.SourceFromDataset(input), 0.0002)
+	// Scope 1: masking exploration, closed early (Ex. 3.5).
+	masked := src.Explore("masking", maskSpecs,
+		mdf.NewChooser(maskEval, p.maskSelector()),
+		func(start *mdf.Node, spec mdf.BranchSpec) *mdf.Node {
+			cfg := wts[int(spec.Hint)]
+			return start.Then("mask("+spec.Label+")",
+				maskOp(p, cfg.w, cfg.t), 0.004)
+		})
+	// Scope 2: marking and detection exploration over the selected data.
+	out := masked.Explore("analysis", outSpecs,
+		mdf.NewChooser(detectionEvaluator(), mdf.Max()),
+		func(start *mdf.Node, spec mdf.BranchSpec) *mdf.Node {
+			cfg := lmds[int(spec.Hint)]
+			marked := start.Then(fmt.Sprintf("mark(%s)", spec.Label),
+				markOp(cfg.l, cfg.m), 0.003)
+			return marked.Then(fmt.Sprintf("detect(%s)", spec.Label),
+				detectOp(cfg.d), 0.002)
+		})
+	out.Then("sink", mdf.Identity("detected"), 0.0001)
+	return b.Build()
+}
+
+// MaskSelector exposes the masking choose selector used by Fig. 8's
+// variants; callers can substitute top-k, first-k-threshold, etc.
+type MaskSelector func(p Params) mdf.Selector
+
+// BuildFlatMDF constructs the single-scope variant matching Fig. 22
+// literally: one explore over (W, T) masking settings with a configurable
+// selector, followed by fixed marking and detection. Used by the Fig. 8
+// choose-function comparison.
+func BuildFlatMDF(p Params, sel mdf.Selector, monotoneEval bool) (*graph.Graph, error) {
+	// The flat variant has no marking/detection explore, so only the
+	// masking-side constraints of Validate apply.
+	if p.Rows < 100 || p.Partitions < 1 {
+		return nil, fmt.Errorf("timeseries: need >= 100 rows and >= 1 partition")
+	}
+	if len(p.WindowLengths)*len(p.Thresholds) < 2 {
+		return nil, fmt.Errorf("timeseries: masking explore needs >= 2 branches")
+	}
+	if len(p.MarkWindows) < 1 || len(p.MagDiffs) < 1 || len(p.Durations) < 1 {
+		return nil, fmt.Errorf("timeseries: flat MDF needs fixed marking parameters")
+	}
+	input := Generate(p)
+	var maskSpecs []mdf.BranchSpec
+	type wt struct {
+		w int
+		t float64
+	}
+	var wts []wt
+	for _, w := range p.WindowLengths {
+		for _, t := range p.Thresholds {
+			maskSpecs = append(maskSpecs, mdf.BranchSpec{
+				Label: fmt.Sprintf("w=%d,t=%g", w, t),
+				// The masking kept-ratio falls monotonically in the
+				// threshold; hint-sorting by (t, w) enables sorted-order
+				// scheduling (Fig. 8 "first-4, sorted").
+				Hint: t*1000 + float64(w),
+			})
+			wts = append(wts, wt{w, t})
+		}
+	}
+	if len(maskSpecs) < 2 {
+		return nil, fmt.Errorf("timeseries: flat MDF needs >= 2 masking branches")
+	}
+	eval := mdf.RatioEvaluator(p.Rows)
+	eval.CostPerMB = 0.0002
+	eval.Monotone = monotoneEval
+	l, m, d := p.MarkWindows[0], p.MagDiffs[0], p.Durations[0]
+
+	b := mdf.NewBuilder()
+	src := b.Source("src", mdf.SourceFromDataset(input), 0.0002)
+	masked := src.Explore("masking", maskSpecs, mdf.NewChooser(eval, sel),
+		func(start *mdf.Node, spec mdf.BranchSpec) *mdf.Node {
+			cfg := wts[0]
+			for i, s := range maskSpecs {
+				if s.Label == spec.Label {
+					cfg = wts[i]
+					break
+				}
+			}
+			return start.Then("mask("+spec.Label+")", maskOp(p, cfg.w, cfg.t), 0.004)
+		})
+	marked := masked.Then("mark", markOp(l, m), 0.003)
+	detected := marked.Then("detect", detectOp(d), 0.002)
+	detected.Then("sink", mdf.Identity("detected"), 0.0001)
+	return b.Build()
+}
+
+// MaskForTest applies the masking operator directly to a dataset; exposed
+// for calibration tests and tooling.
+func MaskForTest(p Params, w int, t float64, in *dataset.Dataset) (*dataset.Dataset, error) {
+	return maskOp(p, w, t)([]*dataset.Dataset{in})
+}
