@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test vet race experiments-quick ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick-mode regeneration of the resilience experiments: stragglers,
+# recovery, and the fault-rate reliability sweep.
+experiments-quick: build
+	$(GO) run ./cmd/mdfbench -exp stragglers -quick -seeds 1 -csv
+	$(GO) run ./cmd/mdfbench -exp recovery -quick -seeds 1 -csv
+	$(GO) run ./cmd/mdfbench -exp reliability -quick -seeds 1 -csv
+
+# ci is the gate a change must pass before merging.
+ci: vet build race experiments-quick
+
+clean:
+	$(GO) clean ./...

@@ -14,10 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"metadataflow/internal/baseline"
 	"metadataflow/internal/cluster"
 	"metadataflow/internal/engine"
+	"metadataflow/internal/faults"
 	"metadataflow/internal/graph"
 	"metadataflow/internal/memorymgr"
 	"metadataflow/internal/scheduler"
@@ -43,15 +45,33 @@ func main() {
 		traceJSON   = flag.String("trace-json", "", "write the timeline in Chrome Trace Event Format to this file")
 		spills      = flag.Bool("spills", false, "print the top spilled datasets")
 		speculative = flag.Bool("speculative", false, "enable speculative straggler mitigation")
+		faultSpec   = flag.String("faults", "", "fault plan: inline JSON (starts with '{') or a path to a JSON file; mdf mode only")
 	)
 	flag.Parse()
-	if err := run(*job, *specPath, *sched, *policy, *incremental, *workers, *memGB, *mode, *seed, *trace, *traceJSON, *spills, *speculative); err != nil {
+	if err := run(*job, *specPath, *sched, *policy, *incremental, *workers, *memGB, *mode, *seed, *trace, *traceJSON, *spills, *speculative, *faultSpec); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(job, specPath, sched, policy string, incremental bool, workers int, memGB int64, mode string, seed int64, trace bool, traceJSON string, spills, speculative bool) error {
+// loadFaults decodes the -faults argument: inline JSON when it starts with
+// '{', otherwise a file path.
+func loadFaults(arg string) (*faults.Plan, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	data := []byte(arg)
+	if !strings.HasPrefix(strings.TrimSpace(arg), "{") {
+		var err error
+		data, err = os.ReadFile(arg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return faults.Parse(data)
+}
+
+func run(job, specPath, sched, policy string, incremental bool, workers int, memGB int64, mode string, seed int64, trace bool, traceJSON string, spills, speculative bool, faultSpec string) error {
 	var g *graph.Graph
 	var err error
 	if specPath != "" {
@@ -94,6 +114,14 @@ func run(job, specPath, sched, policy string, incremental bool, workers int, mem
 		}
 	}
 
+	fplan, err := loadFaults(faultSpec)
+	if err != nil {
+		return err
+	}
+	if fplan != nil && mode != "mdf" {
+		return fmt.Errorf("mdfrun: -faults is only supported in mdf mode")
+	}
+
 	switch {
 	case mode == "mdf":
 		plan, err := graph.BuildPlan(g)
@@ -103,7 +131,7 @@ func run(job, specPath, sched, policy string, incremental bool, workers int, mem
 		runr, err := engine.NewRun(plan, engine.Options{
 			Cluster: cl, Policy: pol, Scheduler: newSched(),
 			Incremental: incremental, Trace: trace || traceJSON != "",
-			Speculative: speculative,
+			Speculative: speculative, Faults: fplan,
 		}, 0)
 		if err != nil {
 			return err
@@ -113,6 +141,9 @@ func run(job, specPath, sched, policy string, incremental bool, workers int, mem
 			return err
 		}
 		report(res.CompletionTime(), &res.Metrics, 1)
+		if fplan != nil {
+			reportFaults(res)
+		}
 		if spills {
 			entries := runr.SpillReport(10)
 			if len(entries) == 0 {
@@ -185,6 +216,24 @@ func report(completion float64, m *engine.Metrics, jobs int) {
 	fmt.Printf("bytes from memory   %10d\n", m.Mem.BytesFromMem)
 	fmt.Printf("bytes from disk     %10d\n", m.Mem.BytesFromDisk)
 	fmt.Printf("evictions           %10d\n", m.Mem.Evictions)
+}
+
+// reportFaults prints the resilience counters and any quarantined branches.
+func reportFaults(res *engine.Result) {
+	m := &res.Metrics
+	fmt.Printf("\nfaults injected     %10d\n", m.FaultsInjected)
+	fmt.Printf("node crashes        %10d\n", m.NodeCrashes)
+	fmt.Printf("panics injected     %10d\n", m.PanicsInjected)
+	fmt.Printf("operator retries    %10d\n", m.Retries)
+	fmt.Printf("stages re-executed  %10d\n", m.StagesReExecuted)
+	fmt.Printf("parts re-derived    %10d\n", m.PartitionsRederived)
+	fmt.Printf("parts rebalanced    %10d\n", m.PartitionsRebalanced)
+	fmt.Printf("branches quarantined%10d\n", m.BranchesQuarantined)
+	fmt.Printf("recovery time       %10.2f virtual seconds\n", m.RecoverySec)
+	fmt.Printf("checkpoints written %10d (%d bytes)\n", m.Mem.Checkpoints, m.Mem.CheckpointedBytes)
+	for _, q := range res.Quarantined {
+		fmt.Printf("quarantined         %s branch %d: %s\n", q.Choose, q.Branch, q.Reason)
+	}
 }
 
 func buildJob(job string, seed int64) (*graph.Graph, error) {

@@ -97,9 +97,17 @@ func (c Config) NetSec(bytes int64) float64 { return float64(bytes) / c.NetBW }
 type Node struct {
 	// ID is the worker index.
 	ID int
-	// SlowFactor scales every duration on this node; > 1 models a
-	// straggler (§5). Zero means 1.
+	// SlowFactor scales every duration on this node: > 1 models a
+	// straggler (§5), a value in (0, 1) a faster-than-baseline node.
+	// Zero means 1; negative values are rejected by Cluster.Validate.
 	SlowFactor float64
+
+	// faultSlow and faultDisk are transient fault-injected multipliers
+	// (0 = none); they compose with SlowFactor and are cleared by Reset.
+	faultSlow float64
+	faultDisk float64
+	// dead marks a permanently failed node; cleared by Reset.
+	dead bool
 
 	cpuFree  float64
 	diskFree float64
@@ -107,11 +115,58 @@ type Node struct {
 }
 
 func (n *Node) scale(dur float64) float64 {
-	if n.SlowFactor > 1 {
-		return dur * n.SlowFactor
+	f := 1.0
+	if n.SlowFactor > 0 {
+		f = n.SlowFactor
 	}
-	return dur
+	if n.faultSlow > 0 {
+		f *= n.faultSlow
+	}
+	return dur * f
 }
+
+// EffectiveSlowFactor returns the combined duration multiplier currently in
+// force on the node: the user-set SlowFactor composed with any transient
+// fault-injected slowdown. Speculative straggler mitigation rebalances
+// compute by its inverse.
+func (n *Node) EffectiveSlowFactor() float64 { return n.scale(1) }
+
+// SetFaultFactors installs the transient fault-injected multipliers for the
+// current virtual time; values <= 0 or exactly 1 mean "none".
+func (n *Node) SetFaultFactors(slow, disk float64) {
+	n.faultSlow, n.faultDisk = 0, 0
+	if slow > 0 && slow != 1 {
+		n.faultSlow = slow
+	}
+	if disk > 0 && disk != 1 {
+		n.faultDisk = disk
+	}
+}
+
+// FaultState exposes the node's fault-injected state: the transient
+// slowdown and disk multipliers (1 when none) and whether the node is
+// permanently dead.
+func (n *Node) FaultState() (slow, disk float64, dead bool) {
+	slow, disk = 1, 1
+	if n.faultSlow > 0 {
+		slow = n.faultSlow
+	}
+	if n.faultDisk > 0 {
+		disk = n.faultDisk
+	}
+	return slow, disk, n.dead
+}
+
+// ClearFaults removes all fault-injected state: transient factors and the
+// dead mark. The user-set SlowFactor is configuration, not a fault, and is
+// preserved.
+func (n *Node) ClearFaults() {
+	n.faultSlow, n.faultDisk = 0, 0
+	n.dead = false
+}
+
+// Alive reports whether the node has not been permanently failed.
+func (n *Node) Alive() bool { return !n.dead }
 
 // CPU occupies the node's CPU for dur virtual seconds starting no earlier
 // than ready, returning the finish time.
@@ -122,10 +177,15 @@ func (n *Node) CPU(ready, dur float64) float64 {
 }
 
 // Disk occupies the node's disk for dur virtual seconds starting no earlier
-// than ready, returning the finish time.
+// than ready, returning the finish time. A fault-injected disk-bandwidth
+// degradation stretches the duration on top of the node's slow factor.
 func (n *Node) Disk(ready, dur float64) float64 {
 	start := max(ready, n.diskFree)
-	n.diskFree = start + n.scale(dur)
+	d := n.scale(dur)
+	if n.faultDisk > 0 {
+		d *= n.faultDisk
+	}
+	n.diskFree = start + d
 	return n.diskFree
 }
 
@@ -137,8 +197,9 @@ func (n *Node) Net(ready, dur float64) float64 {
 	return n.netFree
 }
 
-// FreeAt returns the times at which the node's CPU and disk become free.
-func (n *Node) FreeAt() (cpu, disk float64) { return n.cpuFree, n.diskFree }
+// FreeAt returns the times at which the node's CPU, disk and network link
+// become free.
+func (n *Node) FreeAt() (cpu, disk, net float64) { return n.cpuFree, n.diskFree, n.netFree }
 
 // Cluster is a set of simulated worker nodes sharing a configuration.
 type Cluster struct {
@@ -167,11 +228,67 @@ func MustNew(cfg Config) *Cluster {
 	return c
 }
 
-// Reset clears all resource timelines, returning the cluster to time zero.
+// Reset clears all resource timelines and every fault-injected per-node
+// state (transient factors, dead marks), returning the cluster to time zero
+// so experiments can reuse it across seeds without leaking injected
+// failures. User-set SlowFactor configuration is preserved.
 func (c *Cluster) Reset() {
 	for _, n := range c.Nodes {
 		n.cpuFree, n.diskFree, n.netFree = 0, 0, 0
+		n.ClearFaults()
 	}
+}
+
+// Validate reports errors in the cluster's mutable per-node state: a
+// non-positive explicit SlowFactor is rejected (zero means unset).
+func (c *Cluster) Validate() error {
+	if err := c.Config.Validate(); err != nil {
+		return err
+	}
+	for _, n := range c.Nodes {
+		if n.SlowFactor < 0 {
+			return fmt.Errorf("cluster: node %d has negative slow factor %g", n.ID, n.SlowFactor)
+		}
+	}
+	return nil
+}
+
+// Kill permanently removes a node from the live set. It refuses to kill the
+// last live worker.
+func (c *Cluster) Kill(i int) error {
+	if i < 0 || i >= len(c.Nodes) {
+		return fmt.Errorf("cluster: kill of unknown node %d", i)
+	}
+	if c.NumLive() <= 1 && c.Nodes[i].Alive() {
+		return fmt.Errorf("cluster: cannot kill the last live node %d", i)
+	}
+	c.Nodes[i].dead = true
+	return nil
+}
+
+// Alive reports whether node i is in the live set.
+func (c *Cluster) Alive(i int) bool { return i >= 0 && i < len(c.Nodes) && c.Nodes[i].Alive() }
+
+// NumLive returns the number of live nodes.
+func (c *Cluster) NumLive() int {
+	n := 0
+	for _, nd := range c.Nodes {
+		if nd.Alive() {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveIndices returns the indices of the live nodes in ascending order.
+func (c *Cluster) LiveIndices() []int {
+	out := make([]int, 0, len(c.Nodes))
+	for i, nd := range c.Nodes {
+		if nd.Alive() {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // Now returns the maximum resource-free time across the cluster: the virtual
@@ -184,5 +301,17 @@ func (c *Cluster) Now() float64 {
 	return t
 }
 
-// NodeFor maps a partition index to a worker round-robin.
-func (c *Cluster) NodeFor(part int) *Node { return c.Nodes[part%len(c.Nodes)] }
+// NodeFor maps a partition index to a worker round-robin over the live set:
+// the home node when it is alive, otherwise the partition's deterministic
+// stand-in among the survivors.
+func (c *Cluster) NodeFor(part int) *Node {
+	n := c.Nodes[part%len(c.Nodes)]
+	if n.Alive() {
+		return n
+	}
+	live := c.LiveIndices()
+	if len(live) == 0 {
+		return n
+	}
+	return c.Nodes[live[part%len(live)]]
+}

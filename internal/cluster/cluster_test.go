@@ -179,8 +179,98 @@ func TestWriteCostsAndFreeAt(t *testing.T) {
 	n := &Node{}
 	n.CPU(0, 3)
 	n.Disk(0, 5)
-	cpu, disk := n.FreeAt()
-	if cpu != 3 || disk != 5 {
-		t.Fatalf("FreeAt = (%v, %v), want (3, 5)", cpu, disk)
+	n.Net(0, 7)
+	cpu, disk, net := n.FreeAt()
+	if cpu != 3 || disk != 5 || net != 7 {
+		t.Fatalf("FreeAt = (%v, %v, %v), want (3, 5, 7)", cpu, disk, net)
+	}
+}
+
+func TestScaleHonoursFastAndSlowFactors(t *testing.T) {
+	fast := &Node{SlowFactor: 0.5}
+	if end := fast.CPU(0, 4); end != 2 {
+		t.Fatalf("fast node end = %v, want 2 (factor 0.5 honoured)", end)
+	}
+	slow := &Node{SlowFactor: 2}
+	if end := slow.CPU(0, 4); end != 8 {
+		t.Fatalf("slow node end = %v, want 8", end)
+	}
+}
+
+func TestValidateRejectsNegativeSlowFactor(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clean cluster invalid: %v", err)
+	}
+	c.Nodes[2].SlowFactor = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative slow factor accepted")
+	}
+}
+
+func TestFaultFactorsComposeAndClear(t *testing.T) {
+	n := &Node{SlowFactor: 2}
+	n.SetFaultFactors(3, 4)
+	if end := n.CPU(0, 1); end != 6 {
+		t.Fatalf("CPU with fault slowdown = %v, want 6 (2·3)", end)
+	}
+	if end := n.Disk(0, 1); end != 24 {
+		t.Fatalf("disk with degradation = %v, want 24 (2·3·4)", end)
+	}
+	slow, disk, dead := n.FaultState()
+	if slow != 3 || disk != 4 || dead {
+		t.Fatalf("FaultState = (%v, %v, %v), want (3, 4, false)", slow, disk, dead)
+	}
+	n.ClearFaults()
+	if end := n.CPU(24, 1); end != 26 {
+		t.Fatalf("CPU after ClearFaults = %v, want 26 (only SlowFactor 2)", end)
+	}
+}
+
+func TestKillAndLiveAwareNodeFor(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 3
+	c := MustNew(cfg)
+	if err := c.Kill(1); err != nil {
+		t.Fatalf("Kill(1): %v", err)
+	}
+	if c.Alive(1) || c.NumLive() != 2 {
+		t.Fatalf("live set = %v after killing node 1", c.LiveIndices())
+	}
+	// Partition 1's home node is dead: it must map to a live stand-in.
+	if got := c.NodeFor(1); got != c.Nodes[0] && got != c.Nodes[2] {
+		t.Fatalf("NodeFor(1) = node %d, want a live node", got.ID)
+	}
+	// Live home nodes keep their partitions.
+	if c.NodeFor(0) != c.Nodes[0] || c.NodeFor(2) != c.Nodes[2] {
+		t.Fatal("NodeFor must keep live home nodes")
+	}
+	if err := c.Kill(0); err != nil {
+		t.Fatalf("Kill(0): %v", err)
+	}
+	if err := c.Kill(2); err == nil {
+		t.Fatal("killing the last live node must be refused")
+	}
+}
+
+func TestResetClearsFaultState(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	c := MustNew(cfg)
+	c.Nodes[0].SlowFactor = 4 // user configuration, not a fault
+	c.Nodes[0].SetFaultFactors(2, 3)
+	if err := c.Kill(1); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	c.Reset()
+	if c.NumLive() != 2 {
+		t.Fatal("Reset must revive permanently failed nodes")
+	}
+	slow, disk, dead := c.Nodes[0].FaultState()
+	if slow != 1 || disk != 1 || dead {
+		t.Fatalf("fault state leaked across Reset: (%v, %v, %v)", slow, disk, dead)
+	}
+	if c.Nodes[0].SlowFactor != 4 {
+		t.Fatal("Reset must preserve the user-set SlowFactor")
 	}
 }

@@ -23,10 +23,11 @@ func (r *Run) chooseStateFor(st *graph.Stage) *chooseState {
 		oa.SetSortedOrder(r.opts.Scheduler.SortedBranches())
 	}
 	cs = &chooseState{
-		session:  session,
-		offered:  make(map[int]bool),
-		scores:   make(map[int]float64),
-		released: make(map[int]bool),
+		session:     session,
+		offered:     make(map[int]bool),
+		scores:      make(map[int]float64),
+		released:    make(map[int]bool),
+		quarantined: make(map[int]bool),
 	}
 	r.sessions[st.ID] = cs
 	return cs
@@ -60,7 +61,7 @@ func (r *Run) evalBranchOf(chooseSt, branchFinal *graph.Stage) error {
 // and prunes superfluous branches when the session completes early.
 func (r *Run) evalBranch(chooseSt *graph.Stage, branch int, ready float64) error {
 	cs := r.chooseStateFor(chooseSt)
-	if cs.offered[branch] || cs.done {
+	if cs.offered[branch] || cs.quarantined[branch] || cs.done {
 		return nil
 	}
 	pre := r.plan.Pre(chooseSt)[branch]
@@ -80,6 +81,8 @@ func (r *Run) evalBranch(chooseSt *graph.Stage, branch int, ready float64) error
 			end = t
 		}
 	}
+	score, penalty, serr := r.runScore(op, d)
+	end += penalty // backoff between evaluator retries
 	if end > cs.evalEnd {
 		cs.evalEnd = end
 	}
@@ -88,7 +91,13 @@ func (r *Run) evalBranch(chooseSt *graph.Stage, branch int, ready float64) error
 	}
 
 	r.trace(EventChooseEval, fmt.Sprintf("%s[b%d]", chooseSt, branch), ready, end)
-	score := op.Chooser.Score(d)
+	if serr != nil {
+		// The evaluator kept panicking: the branch result cannot be
+		// scored, so the branch is quarantined and the choose proceeds
+		// over the remaining branches.
+		r.quarantine(chooseSt, branch, serr.Error())
+		return nil
+	}
 	r.metrics.ChooseEvals++
 	cs.offered[branch] = true
 	cs.scores[branch] = score
@@ -191,7 +200,7 @@ func (r *Run) execChoose(st *graph.Stage) error {
 
 	if !cs.done {
 		for b, pre := range pres {
-			if cs.offered[b] || r.skipped[pre.ID] {
+			if cs.offered[b] || cs.quarantined[b] || r.skipped[pre.ID] {
 				continue
 			}
 			if err := r.evalBranch(st, b, ready); err != nil {
@@ -244,7 +253,7 @@ func (r *Run) execChoose(st *graph.Stage) error {
 		r.finalizeChooseInputs(st, cs, nil) // release all originals
 		r.registerOutput(st, copied)
 	}
-	r.markExecuted(st, end)
+	r.markExecuted(st, ready, end)
 	r.trace(EventChoose, st.String(), ready, end)
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 
 	"metadataflow/internal/cluster"
 	"metadataflow/internal/dataset"
+	"metadataflow/internal/faults"
 	"metadataflow/internal/graph"
 	"metadataflow/internal/memorymgr"
 	"metadataflow/internal/scheduler"
@@ -48,10 +49,20 @@ type Options struct {
 	// speed, modelling speculative re-execution of a slow worker's tasks on
 	// faster ones. I/O stays bound to data placement.
 	Speculative bool
-	// FailAfterStage, when >= 0, injects a node failure after that many
-	// stage executions: the node's resident partitions are lost and must
-	// be re-read from checkpoints (§5 fault tolerance). FailNode selects
-	// the worker.
+	// Faults is the deterministic fault plan injected into the run: node
+	// crashes, transient slowdown windows, disk-bandwidth degradation and
+	// operator panics. nil means a fault-free run, so "crash node 0 before
+	// the first stage" ({node: 0}) is expressible without a sentinel.
+	// Setting a plan implies Checkpoint.
+	Faults *faults.Plan
+	// Checkpoint enables durable-copy awareness in the memory allocators
+	// and, under AMM, anticipatory checkpointing of consumed intermediates:
+	// background disk writes that overlap compute and cut the lineage
+	// re-derivation cost of later failures. Implied by Faults.
+	Checkpoint bool
+	// FailAfterStage and FailNode are deprecated: use Faults. When Faults
+	// is nil and FailAfterStage > 0, they are mapped onto a single-crash
+	// plan for node FailNode.
 	FailAfterStage int
 	FailNode       int
 }
@@ -64,8 +75,11 @@ func (o *Options) withDefaults() Options {
 	if out.MemPerWorker == 0 && out.Cluster != nil {
 		out.MemPerWorker = out.Cluster.Config.MemPerWorker
 	}
-	if o.FailAfterStage == 0 && o.FailNode == 0 {
-		out.FailAfterStage = -1
+	if out.Faults == nil {
+		out.Faults = faults.FromLegacy(o.FailAfterStage, o.FailNode)
+	}
+	if out.Faults != nil {
+		out.Checkpoint = true
 	}
 	return out
 }
@@ -90,6 +104,28 @@ type Metrics struct {
 	PeakLiveDatasets int
 	// ChooseEvals counts evaluator invocations.
 	ChooseEvals int
+
+	// FaultsInjected is the total number of fault events delivered (crashes
+	// fired, degradation windows activated, panics injected).
+	FaultsInjected int
+	// NodeCrashes counts injected node failures; PanicsInjected the
+	// injected operator panics.
+	NodeCrashes    int
+	PanicsInjected int
+	// Retries counts operator invocations re-attempted after a panic.
+	Retries int
+	// StagesReExecuted counts lineage re-executions of producing stages;
+	// PartitionsRederived the partitions they restored.
+	StagesReExecuted    int
+	PartitionsRederived int
+	// PartitionsRebalanced counts checkpointed partitions moved from a
+	// permanently dead node onto survivors.
+	PartitionsRebalanced int
+	// BranchesQuarantined counts branches discarded because an operator
+	// kept panicking past the retry budget.
+	BranchesQuarantined int
+	// RecoverySec is the virtual time spent in failure recovery.
+	RecoverySec float64
 }
 
 // EventKind classifies a timeline event.
@@ -144,6 +180,9 @@ type Result struct {
 	Metrics Metrics
 	// Timeline is the per-stage execution trace (nil unless Options.Trace).
 	Timeline []StageEvent
+	// Quarantined records the branches discarded because of persistently
+	// failing operators, with the reason.
+	Quarantined []QuarantineRecord
 }
 
 // CompletionTime returns End - Start.
@@ -174,11 +213,27 @@ type Run struct {
 
 	sessions map[int]*chooseState // choose stage ID -> state
 
-	metrics  Metrics
-	timeline []StageEvent
-	output   *dataset.Dataset
-	err      error
-	done     bool
+	// Fault-injection and recovery state.
+	injector   *faults.Injector   // nil on fault-free runs
+	retry      faults.RetryPolicy // panic retry/backoff policy
+	checkpoint bool               // durable-copy awareness enabled
+	// producerOf maps a dataset to the stage that first produced it, for
+	// lineage re-derivation; forwarding stages (explore, choose) keep the
+	// original producer.
+	producerOf map[dataset.ID]int
+	// stageDur records each executed stage's virtual duration, the cost
+	// charged when the stage is re-executed to re-derive lost partitions.
+	stageDur map[int]float64
+	// placement overrides the default partition-to-node mapping (index mod
+	// workers) for partitions rebalanced or re-derived after failures.
+	placement map[dataset.PartKey]int
+
+	metrics     Metrics
+	timeline    []StageEvent
+	quarantined []QuarantineRecord
+	output      *dataset.Dataset
+	err         error
+	done        bool
 }
 
 // trace appends a timeline event when tracing is enabled.
@@ -190,12 +245,13 @@ func (r *Run) trace(kind EventKind, label string, start, end float64) {
 }
 
 type chooseState struct {
-	session  graph.ChooseSession
-	offered  map[int]bool // branch index -> scored
-	scores   map[int]float64
-	released map[int]bool // branch dataset already consumed
-	done     bool         // remaining branches superfluous
-	evalEnd  float64
+	session     graph.ChooseSession
+	offered     map[int]bool // branch index -> scored
+	scores      map[int]float64
+	released    map[int]bool // branch dataset already consumed
+	quarantined map[int]bool // branch discarded after persistent op panics
+	done        bool         // remaining branches superfluous
+	evalEnd     float64
 }
 
 // NewRun prepares a run of the plan with the given options. start is the
@@ -204,6 +260,14 @@ func NewRun(plan *graph.Plan, opts Options, start float64) (*Run, error) {
 	o := (&opts).withDefaults()
 	if o.Cluster == nil {
 		return nil, fmt.Errorf("engine: options need a cluster")
+	}
+	if err := o.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if o.Faults != nil {
+		if err := o.Faults.ValidateFor(len(o.Cluster.Nodes)); err != nil {
+			return nil, err
+		}
 	}
 	o.Scheduler.Init(plan)
 	r := &Run{
@@ -220,9 +284,20 @@ func NewRun(plan *graph.Plan, opts Options, start float64) (*Run, error) {
 		datasets:      make(map[dataset.ID]*dataset.Dataset),
 		protectedIDs:  make(map[dataset.ID]bool),
 		sessions:      make(map[int]*chooseState),
+		producerOf:    make(map[dataset.ID]int),
+		stageDur:      make(map[int]float64),
+		placement:     make(map[dataset.PartKey]int),
+		retry:         faults.DefaultRetry(),
+		checkpoint:    o.Checkpoint,
+	}
+	if o.Faults != nil {
+		r.injector = faults.NewInjector(o.Faults)
+		r.retry = r.injector.Retry()
 	}
 	for _, n := range o.Cluster.Nodes {
-		r.allocs = append(r.allocs, memorymgr.NewAllocator(n, o.Cluster.Config, o.MemPerWorker, o.Policy, r))
+		a := memorymgr.NewAllocator(n, o.Cluster.Config, o.MemPerWorker, o.Policy, r)
+		a.SetCheckpointing(r.checkpoint)
+		r.allocs = append(r.allocs, a)
 	}
 	for _, st := range plan.SourceStages() {
 		r.ready[st.ID] = st
@@ -257,7 +332,13 @@ func (r *Run) LiveDatasets() int { return r.liveCount }
 
 // Result finalises and returns the run's result. It is valid once Done.
 func (r *Run) Result() *Result {
-	res := &Result{Start: r.start, End: r.now, Output: r.output, Metrics: r.metrics, Timeline: r.timeline}
+	res := &Result{
+		Start: r.start, End: r.now, Output: r.output,
+		Metrics: r.metrics, Timeline: r.timeline, Quarantined: r.quarantined,
+	}
+	if r.injector != nil {
+		res.Metrics.FaultsInjected = r.injector.Injected()
+	}
 	for _, a := range r.allocs {
 		res.Metrics.Mem.Merge(a.Metrics())
 	}
@@ -265,9 +346,17 @@ func (r *Run) Result() *Result {
 }
 
 // Step executes the next stage. It returns false once the run is complete
-// or failed.
+// or failed. Fault injection happens at the scheduling boundaries before
+// and after the stage: transient degradation windows are applied to the
+// nodes for the current virtual time, and crashes whose triggers have been
+// reached fire and are recovered from before the next stage is picked.
 func (r *Run) Step() bool {
 	if r.done {
+		return false
+	}
+	if err := r.applyFaults(); err != nil {
+		r.err = err
+		r.done = true
 		return false
 	}
 	ready := r.readySlice()
@@ -290,11 +379,15 @@ func (r *Run) Step() bool {
 		return false
 	}
 	r.last = next
-	r.metrics.StagesExecuted++
-	if r.opts.FailAfterStage >= 0 && r.metrics.StagesExecuted == r.opts.FailAfterStage {
-		if r.opts.FailNode >= 0 && r.opts.FailNode < len(r.allocs) {
-			r.allocs[r.opts.FailNode].FailNode()
-		}
+	if r.executed[next.ID] {
+		// A stage absorbed into a branch quarantine counts as pruned, not
+		// executed.
+		r.metrics.StagesExecuted++
+	}
+	if err := r.applyFaults(); err != nil {
+		r.err = err
+		r.done = true
+		return false
 	}
 	r.refreshReady()
 	if len(r.ready) == 0 {
@@ -302,6 +395,25 @@ func (r *Run) Step() bool {
 		return false
 	}
 	return true
+}
+
+// applyFaults delivers the plan's due fault events at a scheduling boundary:
+// it refreshes each node's transient degradation factors for the current
+// virtual time and fires (then recovers from) any due crashes.
+func (r *Run) applyFaults() error {
+	if r.injector == nil {
+		return nil
+	}
+	for i, n := range r.opts.Cluster.Nodes {
+		slow, disk := r.injector.TransientFactors(i, r.now)
+		n.SetFaultFactors(slow, disk)
+	}
+	for _, c := range r.injector.DueCrashes(r.metrics.StagesExecuted, r.now) {
+		if err := r.onCrash(c); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RunToCompletion steps the run until done and returns its result.
@@ -371,8 +483,10 @@ func (r *Run) refreshReady() {
 		if !r.predsSettled(st) {
 			continue
 		}
-		if st.IsChoose() && r.allPredsSkipped(st) {
-			// A choose whose branches were all pruned cannot execute.
+		if st.IsChoose() && r.allPredsSkipped(st) && !r.hasQuarantined(st) {
+			// A choose whose branches were all pruned cannot execute. With
+			// quarantined branches it still runs (degrading to an empty
+			// selection) so downstream trunk stages keep their input.
 			r.skipStage(st, r.now)
 			continue
 		}
@@ -398,6 +512,13 @@ func (r *Run) allPredsSkipped(st *graph.Stage) bool {
 	return true
 }
 
+// hasQuarantined reports whether any branch of the choose stage was
+// quarantined rather than pruned.
+func (r *Run) hasQuarantined(st *graph.Stage) bool {
+	cs, ok := r.sessions[st.ID]
+	return ok && len(cs.quarantined) > 0
+}
+
 // readyTime returns the virtual time at which the stage may start.
 func (r *Run) readyTime(st *graph.Stage) float64 {
 	t := r.start
@@ -421,6 +542,7 @@ func (r *Run) registerOutput(st *graph.Stage, d *dataset.Dataset) {
 	if _, known := r.datasets[d.ID]; !known {
 		r.datasets[d.ID] = d
 		r.liveCount++
+		r.producerOf[d.ID] = st.ID
 	}
 	if len(r.plan.Post(st)) == 0 {
 		// Sink outputs stay live until the end of the job.
@@ -429,7 +551,18 @@ func (r *Run) registerOutput(st *graph.Stage, d *dataset.Dataset) {
 	r.consumersLeft[d.ID] += consumers
 	if r.opts.PinReused && r.consumersLeft[d.ID] > 1 {
 		for i := range d.Parts {
-			r.allocs[i%len(r.allocs)].Pin(d.Key(i))
+			r.allocs[r.nodeOf(d.Key(i), i)].Pin(d.Key(i))
+		}
+	}
+	if r.checkpoint && r.opts.Policy == memorymgr.AMM && (consumers > 0 || r.protected(d.ID)) {
+		// Anticipatory checkpointing (AMM under the fault model): every
+		// intermediate that will be consumed — and every sink output — gets
+		// a durable on-disk copy, written in the background on its node's
+		// disk timeline, so a later crash re-reads it instead of re-deriving
+		// it by lineage.
+		for i := range d.Parts {
+			key := d.Key(i)
+			r.allocs[r.nodeOf(key, i)].Checkpoint(key, r.now)
 		}
 	}
 	if r.liveCount > r.metrics.PeakLiveDatasets {
@@ -461,6 +594,7 @@ func (r *Run) discardDataset(d *dataset.Dataset) {
 	r.metrics.DatasetsDiscarded++
 	for i := range d.Parts {
 		key := d.Key(i)
-		r.allocs[i%len(r.allocs)].Discard(key)
+		r.allocs[r.nodeOf(key, i)].Discard(key)
+		delete(r.placement, key)
 	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
 	"metadataflow/internal/dataset"
@@ -31,7 +32,7 @@ func (r *Run) execStage(st *graph.Stage) error {
 		d := ins[0]
 		r.registerOutput(st, d)
 		r.consumeForward(d)
-		r.markExecuted(st, ready)
+		r.markExecuted(st, ready, ready)
 		r.trace(EventStage, st.String(), ready, ready)
 		return nil
 	}
@@ -51,15 +52,27 @@ func (r *Run) execStage(st *graph.Stage) error {
 	// epoch) and spread evenly across workers; per-MB costs follow the
 	// placement of the input bytes.
 	cur := ins
-	var cpuFixed, cpuScan float64
+	var cpuFixed, cpuScan, retryPenalty float64
 	var externalBytes int64
 	for _, op := range st.Ops {
 		inBytes := int64(0)
 		for _, d := range cur {
 			inBytes += d.VirtualBytes()
 		}
-		out, err := op.Transform(cur)
+		out, penalty, err := r.runTransform(op, cur)
+		retryPenalty += penalty
 		if err != nil {
+			var pe *opPanicError
+			if errors.As(err, &pe) {
+				if chooseSt, branch, ok := r.branchOfStage(st); ok {
+					// A persistently panicking operator on a branch
+					// quarantines the branch; the stage is absorbed into
+					// the quarantine (skipped) and the run continues.
+					r.now += retryPenalty
+					r.quarantine(chooseSt, branch, err.Error())
+					return nil
+				}
+			}
 			return fmt.Errorf("engine: stage %s op %q: %w", st, op.Name, err)
 		}
 		if out == nil {
@@ -76,10 +89,17 @@ func (r *Run) execStage(st *graph.Stage) error {
 		cur = []*dataset.Dataset{out}
 	}
 	out := cur[0]
+	if retryPenalty > 0 {
+		// Backoff between panic retries stalls the whole stage.
+		for n := range nodeT {
+			nodeT[n] += retryPenalty
+		}
+	}
 
 	if externalBytes > 0 {
-		per := externalBytes / int64(len(r.allocs))
-		for n := range r.allocs {
+		live := r.liveAllocs()
+		per := externalBytes / int64(len(live))
+		for _, n := range live {
 			end := r.opts.Cluster.Nodes[n].Disk(nodeT[n], r.opts.Cluster.Config.DiskReadSec(per))
 			nodeT[n] = end
 		}
@@ -92,7 +112,7 @@ func (r *Run) execStage(st *graph.Stage) error {
 		r.consumeInput(d)
 	}
 	r.registerOutput(st, out)
-	r.markExecuted(st, end)
+	r.markExecuted(st, ready, end)
 	r.trace(EventStage, st.String(), ready, end)
 
 	// Incremental choose evaluation (§3.1): if this stage completes a
@@ -132,7 +152,7 @@ func (r *Run) loadInputs(ins []*dataset.Dataset, ready float64) []float64 {
 			continue
 		}
 		for i := range d.Parts {
-			n := i % len(r.allocs)
+			n := r.nodeOf(d.Key(i), i)
 			end, _, err := r.allocs[n].Access(d.Key(i), nodeT[n])
 			if err == nil && end > nodeT[n] {
 				nodeT[n] = end
@@ -162,7 +182,7 @@ func (r *Run) chargeShuffle(st *graph.Stage, ins []*dataset.Dataset, nodeT []flo
 		}
 		perNode := make([]int64, w)
 		for pi, p := range d.Parts {
-			perNode[pi%w] += p.VirtualBytes
+			perNode[r.nodeOf(d.Key(pi), pi)] += p.VirtualBytes
 		}
 		for n, bytes := range perNode {
 			if bytes == 0 {
@@ -188,6 +208,7 @@ func (r *Run) chargeCompute(ins []*dataset.Dataset, cpuFixed, cpuScan float64, n
 	cpuFixed *= scale
 	cpuScan *= scale
 	r.metrics.ComputeSec += cpuFixed + cpuScan
+	live := r.liveAllocs()
 	shares := make([]float64, len(r.allocs))
 	var total float64
 	for _, d := range ins {
@@ -195,32 +216,34 @@ func (r *Run) chargeCompute(ins []*dataset.Dataset, cpuFixed, cpuScan float64, n
 			continue
 		}
 		for i, p := range d.Parts {
-			shares[i%len(r.allocs)] += float64(p.VirtualBytes)
+			shares[r.nodeOf(d.Key(i), i)] += float64(p.VirtualBytes)
 			total += float64(p.VirtualBytes)
 		}
 	}
 	if total == 0 {
-		for n := range shares {
+		for _, n := range live {
 			shares[n] = 1
 			total++
 		}
 	}
 	if r.opts.Speculative {
 		// Speculative re-execution rebalances compute by node speed: a
-		// node's share is proportional to its capacity 1/SlowFactor, so a
+		// node's share is proportional to its capacity 1/slowdown, so a
 		// straggler no longer gates the stage (§5 straggler mitigation).
+		// The effective factor includes transient fault-injected slowdowns
+		// and honours factors < 1 (faster-than-baseline nodes).
 		var capTotal float64
 		caps := make([]float64, len(r.allocs))
-		for n := range r.allocs {
-			sf := r.opts.Cluster.Nodes[n].SlowFactor
-			if sf < 1 {
+		for _, n := range live {
+			sf := r.opts.Cluster.Nodes[n].EffectiveSlowFactor()
+			if sf <= 0 {
 				sf = 1
 			}
 			caps[n] = 1 / sf
 			capTotal += caps[n]
 		}
 		work := cpuFixed + cpuScan
-		for n := range r.allocs {
+		for _, n := range live {
 			dur := work * caps[n] / capTotal
 			if dur <= 0 {
 				continue
@@ -229,8 +252,8 @@ func (r *Run) chargeCompute(ins []*dataset.Dataset, cpuFixed, cpuScan float64, n
 		}
 		return
 	}
-	perNodeFixed := cpuFixed / float64(len(r.allocs))
-	for n := range r.allocs {
+	perNodeFixed := cpuFixed / float64(len(live))
+	for _, n := range live {
 		dur := perNodeFixed + cpuScan*shares[n]/total
 		if dur <= 0 {
 			continue
@@ -244,7 +267,7 @@ func (r *Run) chargeCompute(ins []*dataset.Dataset, cpuFixed, cpuScan float64, n
 // stage completion time.
 func (r *Run) storeOutput(out *dataset.Dataset, nodeT []float64) float64 {
 	for i, p := range out.Parts {
-		n := i % len(r.allocs)
+		n := r.placeNew(out.Key(i), i)
 		end := r.allocs[n].Put(out.Key(i), p.VirtualBytes, nodeT[n])
 		if end > nodeT[n] {
 			nodeT[n] = end
@@ -259,9 +282,13 @@ func (r *Run) storeOutput(out *dataset.Dataset, nodeT []float64) float64 {
 	return end
 }
 
-func (r *Run) markExecuted(st *graph.Stage, end float64) {
+func (r *Run) markExecuted(st *graph.Stage, ready, end float64) {
 	r.executed[st.ID] = true
 	r.stageEnd[st.ID] = end
+	if d := end - ready; d > 0 {
+		// Recorded as the lineage re-execution cost of the stage's output.
+		r.stageDur[st.ID] = d
+	}
 	if end > r.now {
 		r.now = end
 	}

@@ -206,6 +206,7 @@ func Registry() []Experiment {
 		{"ablation", "Mechanism ablation: BAS / AMM / incremental in isolation", Ablation},
 		{"stragglers", "Completion time with one straggling worker (§5)", Stragglers},
 		{"recovery", "Completion time with a node failure mid-exploration (§5)", Recovery},
+		{"reliability", "Recovery overhead: fault rate × policy (LRU/AMM × BFS/BAS)", Reliability},
 	}
 }
 

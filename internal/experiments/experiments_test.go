@@ -23,7 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1",
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "ablation",
-		"stragglers", "recovery"}
+		"stragglers", "recovery", "reliability"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -376,6 +376,33 @@ func TestRecoveryShape(t *testing.T) {
 	overhead := cellAvg(t, tab, x, "overhead")
 	if overhead > clean {
 		t.Errorf("recovery overhead (%0.0fs) should be below a full rerun (%0.0fs)", overhead, clean)
+	}
+}
+
+func TestReliabilityAMMBeatsLRU(t *testing.T) {
+	tab, err := Reliability(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("reliability table is empty")
+	}
+	// AMM's anticipatory checkpoints must make its recovery overhead
+	// strictly cheaper than LRU's lineage re-derivation at every fault
+	// rate, under both schedulers.
+	for _, row := range tab.Rows {
+		for _, sched := range []string{"BFS", "BAS"} {
+			lru := cellAvg(t, tab, row.X, "LRU+"+sched)
+			amm := cellAvg(t, tab, row.X, "AMM+"+sched)
+			if amm >= lru {
+				t.Errorf("rate %s, %s: AMM overhead %0.2fs not strictly below LRU %0.2fs",
+					row.X, sched, amm, lru)
+			}
+			if amm < 0 || lru < 0 {
+				t.Errorf("rate %s, %s: negative overhead (AMM %0.2f, LRU %0.2f)",
+					row.X, sched, amm, lru)
+			}
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"metadataflow/internal/cluster"
 	"metadataflow/internal/engine"
+	"metadataflow/internal/faults"
 	"metadataflow/internal/graph"
 	"metadataflow/internal/memorymgr"
 	"metadataflow/internal/scheduler"
@@ -137,11 +138,10 @@ func Recovery(o Options) (*Table, error) {
 		opts := engine.Options{
 			Cluster: cl, Policy: memorymgr.AMM,
 			Scheduler: scheduler.BAS(nil), Incremental: true,
-			FailAfterStage: failAfter, FailNode: 0,
+			Checkpoint: true,
 		}
-		if failAfter <= 0 {
-			opts.FailAfterStage = -1
-			opts.FailNode = -1
+		if failAfter > 0 {
+			opts.Faults = &faults.Plan{Crashes: []faults.Crash{{Node: 0, AfterStages: failAfter}}}
 		}
 		r, err := engine.NewRun(plan, opts, 0)
 		if err != nil {
@@ -175,6 +175,109 @@ func Recovery(o Options) (*Table, error) {
 			X:     fmt.Sprintf("%d", fp),
 			Cells: []stats.Summary{clean, failed, overhead},
 		})
+	}
+	return t, nil
+}
+
+// Reliability sweeps a seeded fault plan — repeated node crashes plus one
+// panicking evaluator — against the fault rate, for every combination of
+// eviction policy (LRU vs AMM) and scheduler (BFS vs BAS). Each cell is the
+// recovery overhead: the completion time of the faulty run minus that of a
+// fault-free run of the same configuration (both with durable-copy
+// awareness enabled). AMM's anticipatory checkpointing writes durable
+// copies of consumed intermediates in the background, so a crash only costs
+// checkpoint re-reads; LRU keeps everything in volatile memory and must
+// re-derive the lost partitions by re-executing their producing stages,
+// which makes its recovery strictly more expensive at every fault rate.
+func Reliability(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "reliability",
+		Title:   "Recovery overhead under repeated node crashes + evaluator panics",
+		XLabel:  "node crashes",
+		Unit:    "virtual seconds of overhead",
+		Columns: []string{"LRU+BFS", "AMM+BFS", "LRU+BAS", "AMM+BAS"},
+	}
+	rates := []int{1, 2, 3}
+	if o.Quick {
+		rates = []int{1, 2}
+	}
+	seeds := o.seeds()
+	params := func(seed int64) synthetic.Params {
+		p := synthetic.Defaults()
+		p.Seed = seed
+		p.Rows = 1200
+		p.VirtualBytes = 8 * gb
+		// Compute-dominant stages (§5): re-executing a producing stage must
+		// cost more than re-reading its checkpoint from disk, which is what
+		// makes anticipatory checkpoints pay off.
+		p.OpsPerItem = 16
+		if o.Quick {
+			p.Rows = 500
+		}
+		return p
+	}
+	type config struct {
+		policy   memorymgr.PolicyKind
+		newSched func() scheduler.Policy
+	}
+	configs := []config{
+		{memorymgr.LRU, func() scheduler.Policy { return scheduler.BFS() }},
+		{memorymgr.AMM, func() scheduler.Policy { return scheduler.BFS() }},
+		{memorymgr.LRU, func() scheduler.Policy { return scheduler.BAS(nil) }},
+		{memorymgr.AMM, func() scheduler.Policy { return scheduler.BAS(nil) }},
+	}
+	run := func(seed int64, cfg config, plan *faults.Plan) (float64, error) {
+		g, err := synthetic.BuildMDF(params(seed))
+		if err != nil {
+			return 0, err
+		}
+		cl, err := cluster.New(clusterConfig(8, 10*gb))
+		if err != nil {
+			return 0, err
+		}
+		gp, err := graph.BuildPlan(g)
+		if err != nil {
+			return 0, err
+		}
+		r, err := engine.NewRun(gp, engine.Options{
+			Cluster: cl, Policy: cfg.policy,
+			Scheduler: cfg.newSched(), Incremental: true,
+			Checkpoint: true, Faults: plan,
+		}, 0)
+		if err != nil {
+			return 0, err
+		}
+		res, err := r.RunToCompletion()
+		if err != nil {
+			return 0, err
+		}
+		return res.CompletionTime(), nil
+	}
+	for _, rate := range rates {
+		rate := rate
+		var cells []stats.Summary
+		for _, cfg := range configs {
+			cfg := cfg
+			overhead, err := summarize(seeds, func(seed int64) (float64, error) {
+				clean, err := run(seed, cfg, nil)
+				if err != nil {
+					return 0, err
+				}
+				plan := faults.Generate(faults.GenConfig{
+					Seed: seed, Workers: 8, Crashes: rate, EvalPanics: 1, MaxStage: 4,
+				})
+				faulty, err := run(seed, cfg, plan)
+				if err != nil {
+					return 0, err
+				}
+				return faulty - clean, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, overhead)
+		}
+		t.Rows = append(t.Rows, Row{X: fmt.Sprintf("%d", rate), Cells: cells})
 	}
 	return t, nil
 }

@@ -1,0 +1,398 @@
+// Package faults defines the deterministic fault model of the resilient
+// execution layer: a seed-driven fault plan describing node crashes
+// (transient process restarts and permanent machine losses), transient
+// slowdown windows, disk-bandwidth degradation, and operator panics, plus
+// the retry/backoff policy applied to misbehaving user code.
+//
+// A Plan is pure data (JSON-serialisable for the mdfrun -faults flag); the
+// engine consumes it through an Injector, which tracks which events have
+// already fired so that repeated and correlated failures are injected
+// exactly once each, at deterministic points of the run. All fault timing
+// is expressed in the cluster's virtual time and in executed-stage counts,
+// never wall clock, so a faulty run is exactly reproducible.
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"metadataflow/internal/stats"
+)
+
+// RetryPolicy bounds the re-execution of panicking operator functions: an
+// invocation is retried up to MaxAttempts times, with an exponential
+// virtual-time backoff of BackoffSec·2^(attempt-1) charged between attempts.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of invocation attempts (>= 1);
+	// 0 selects the default of 3.
+	MaxAttempts int `json:"maxAttempts,omitempty"`
+	// BackoffSec is the base backoff in virtual seconds; 0 selects the
+	// default of 1.
+	BackoffSec float64 `json:"backoffSec,omitempty"`
+}
+
+// DefaultRetry is the retry policy applied when a plan does not set one
+// (and to fault-free runs, which still isolate genuine operator panics).
+func DefaultRetry() RetryPolicy { return RetryPolicy{MaxAttempts: 3, BackoffSec: 1} }
+
+// withDefaults fills zero fields with the default policy.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetry()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BackoffSec <= 0 {
+		p.BackoffSec = d.BackoffSec
+	}
+	return p
+}
+
+// Backoff returns the virtual-time penalty charged after the given failed
+// attempt (1-based): BackoffSec·2^(attempt-1).
+func (p RetryPolicy) Backoff(attempt int) float64 {
+	b := p.BackoffSec
+	for i := 1; i < attempt; i++ {
+		b *= 2
+	}
+	return b
+}
+
+// Crash schedules a node failure. It fires at the first scheduling boundary
+// where at least AfterStages stages have executed AND virtual time has
+// reached At; both default to zero, so {node: 0} crashes node 0 before the
+// first stage — the "fail node 0 after stage 0" case the legacy knobs could
+// not express. A non-permanent crash models a process restart: the node
+// loses its memory-resident partitions but keeps serving; partitions with a
+// durable checkpoint are re-read, the rest are re-derived by lineage. A
+// permanent crash removes the node from the live set; its partitions are
+// rebalanced across the survivors.
+type Crash struct {
+	// Node is the worker index to fail.
+	Node int `json:"node"`
+	// AfterStages is the number of executed stages required before firing.
+	AfterStages int `json:"afterStages,omitempty"`
+	// At is the virtual time required before firing.
+	At float64 `json:"at,omitempty"`
+	// Permanent removes the node from the live set for the rest of the run.
+	Permanent bool `json:"permanent,omitempty"`
+}
+
+// Window is a transient degradation interval [From, To) in virtual time on
+// one node. To <= 0 means the window never closes. Factor multiplies the
+// affected durations: > 1 degrades, (0, 1) accelerates; it composes with a
+// user-set straggler SlowFactor.
+type Window struct {
+	// Node is the affected worker index.
+	Node int `json:"node"`
+	// From and To bound the window in virtual seconds; To <= 0 is open.
+	From float64 `json:"from,omitempty"`
+	To   float64 `json:"to,omitempty"`
+	// Factor is the duration multiplier while the window is active.
+	Factor float64 `json:"factor"`
+}
+
+// active reports whether the window covers virtual time now.
+func (w Window) active(now float64) bool {
+	return now >= w.From && (w.To <= 0 || now < w.To)
+}
+
+// PanicTarget selects which operator invocations a PanicSpec fails.
+type PanicTarget string
+
+const (
+	// TargetEval fails choose evaluator invocations (the default).
+	TargetEval PanicTarget = "eval"
+	// TargetTransform fails transform/source operator invocations.
+	TargetTransform PanicTarget = "transform"
+)
+
+// PanicSpec makes matching operator invocations panic. Each injected panic
+// consumes one of Times; once exhausted the operator behaves normally, so a
+// spec with Times below the retry budget exercises recovery without
+// changing any choose decision, while Times at or above it forces the
+// branch into quarantine.
+type PanicSpec struct {
+	// Op matches the operator name exactly; empty matches every operator
+	// of the targeted kind.
+	Op string `json:"op,omitempty"`
+	// Target selects evaluator or transform invocations; empty means eval.
+	Target PanicTarget `json:"target,omitempty"`
+	// Times is the number of invocations to fail (>= 1).
+	Times int `json:"times"`
+}
+
+// Plan is a deterministic fault schedule for one run.
+type Plan struct {
+	// Seed labels generated plans; it does not affect replay (a plan is
+	// already concrete) but records how it was derived.
+	Seed int64 `json:"seed,omitempty"`
+	// Retry bounds panic recovery; zero fields take defaults.
+	Retry RetryPolicy `json:"retry,omitempty"`
+	// Crashes are the node failures to inject, in any order.
+	Crashes []Crash `json:"crashes,omitempty"`
+	// Slowdowns scale all durations of a node within a window.
+	Slowdowns []Window `json:"slowdowns,omitempty"`
+	// DiskFaults scale only disk-operation durations within a window,
+	// modelling disk-bandwidth degradation.
+	DiskFaults []Window `json:"diskFaults,omitempty"`
+	// Panics fail matching operator invocations.
+	Panics []PanicSpec `json:"panics,omitempty"`
+}
+
+// Parse decodes a JSON plan and validates it.
+func Parse(data []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("faults: parse plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Validate reports structural errors of the plan.
+func (p *Plan) Validate() error {
+	if p.Retry.MaxAttempts < 0 || p.Retry.BackoffSec < 0 {
+		return fmt.Errorf("faults: negative retry policy")
+	}
+	for i, c := range p.Crashes {
+		if c.Node < 0 {
+			return fmt.Errorf("faults: crash %d: negative node %d", i, c.Node)
+		}
+		if c.AfterStages < 0 || c.At < 0 {
+			return fmt.Errorf("faults: crash %d: negative trigger", i)
+		}
+	}
+	for i, w := range append(append([]Window(nil), p.Slowdowns...), p.DiskFaults...) {
+		if w.Node < 0 {
+			return fmt.Errorf("faults: window %d: negative node %d", i, w.Node)
+		}
+		if w.Factor <= 0 {
+			return fmt.Errorf("faults: window %d: non-positive factor %g", i, w.Factor)
+		}
+		if w.From < 0 || (w.To > 0 && w.To <= w.From) {
+			return fmt.Errorf("faults: window %d: bad interval [%g, %g)", i, w.From, w.To)
+		}
+	}
+	for i, s := range p.Panics {
+		if s.Times < 1 {
+			return fmt.Errorf("faults: panic spec %d: times must be >= 1", i)
+		}
+		switch s.Target {
+		case "", TargetEval, TargetTransform:
+		default:
+			return fmt.Errorf("faults: panic spec %d: unknown target %q", i, s.Target)
+		}
+	}
+	return nil
+}
+
+// ValidateFor additionally checks the plan against a cluster size: node
+// indices must exist and permanent crashes must leave at least one live
+// worker.
+func (p *Plan) ValidateFor(workers int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	check := func(node int, what string) error {
+		if node >= workers {
+			return fmt.Errorf("faults: %s targets node %d of a %d-worker cluster", what, node, workers)
+		}
+		return nil
+	}
+	permanentlyDead := map[int]bool{}
+	for _, c := range p.Crashes {
+		if err := check(c.Node, "crash"); err != nil {
+			return err
+		}
+		if c.Permanent {
+			permanentlyDead[c.Node] = true
+		}
+	}
+	if len(permanentlyDead) >= workers {
+		return fmt.Errorf("faults: plan permanently kills all %d workers", workers)
+	}
+	for _, w := range p.Slowdowns {
+		if err := check(w.Node, "slowdown"); err != nil {
+			return err
+		}
+	}
+	for _, w := range p.DiskFaults {
+		if err := check(w.Node, "disk fault"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FromLegacy maps the deprecated engine.Options fields (FailAfterStage,
+// FailNode) onto an equivalent single-crash plan, or nil when the legacy
+// values encode "no failure" (FailAfterStage <= 0, the only sentinel the
+// old fields could express).
+func FromLegacy(failAfterStage, failNode int) *Plan {
+	if failAfterStage <= 0 || failNode < 0 {
+		return nil
+	}
+	return &Plan{Crashes: []Crash{{Node: failNode, AfterStages: failAfterStage}}}
+}
+
+// GenConfig parameterises Generate.
+type GenConfig struct {
+	// Seed drives every random draw.
+	Seed int64
+	// Workers is the cluster size the plan targets.
+	Workers int
+	// Crashes is the number of node crashes to schedule.
+	Crashes int
+	// Permanent is how many of the crashes are permanent machine losses
+	// (capped at Workers-1 so the cluster survives).
+	Permanent int
+	// EvalPanics is the number of single-shot evaluator panics to inject;
+	// each is retried once, so choose decisions are unaffected as long as
+	// the retry policy allows a second attempt.
+	EvalPanics int
+	// MaxStage bounds the crash triggers: each crash fires after a stage
+	// count drawn uniformly from [1, MaxStage]. 0 selects 20.
+	MaxStage int
+}
+
+// Generate derives a concrete fault plan from the seed: crash nodes and
+// trigger points are drawn from a deterministic RNG, so sweeping a fault
+// rate reduces to increasing GenConfig.Crashes while holding the seed.
+func Generate(cfg GenConfig) *Plan {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxStage < 1 {
+		cfg.MaxStage = 20
+	}
+	if cfg.Permanent > cfg.Workers-1 {
+		cfg.Permanent = cfg.Workers - 1
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	p := &Plan{Seed: cfg.Seed}
+	permanentlyDead := map[int]bool{}
+	for i := 0; i < cfg.Crashes; i++ {
+		node := rng.Intn(cfg.Workers)
+		permanent := i < cfg.Permanent
+		if permanent {
+			// Permanent losses pick distinct nodes so the live set
+			// shrinks by exactly Permanent workers.
+			for permanentlyDead[node] {
+				node = (node + 1) % cfg.Workers
+			}
+			permanentlyDead[node] = true
+		}
+		p.Crashes = append(p.Crashes, Crash{
+			Node:        node,
+			AfterStages: 1 + rng.Intn(cfg.MaxStage),
+			Permanent:   permanent,
+		})
+	}
+	for i := 0; i < cfg.EvalPanics; i++ {
+		p.Panics = append(p.Panics, PanicSpec{Target: TargetEval, Times: 1})
+	}
+	return p
+}
+
+// Injector is the per-run consumer of a Plan: it tracks which crashes have
+// fired, which degradation windows have activated, and how many injected
+// panics each spec has left, so every fault is delivered exactly once.
+type Injector struct {
+	plan       *Plan
+	retry      RetryPolicy
+	crashFired []bool
+	slowSeen   []bool
+	diskSeen   []bool
+	panicLeft  []int
+	injected   int
+}
+
+// NewInjector prepares an injector for one run of the plan.
+func NewInjector(p *Plan) *Injector {
+	in := &Injector{
+		plan:       p,
+		retry:      p.Retry.withDefaults(),
+		crashFired: make([]bool, len(p.Crashes)),
+		slowSeen:   make([]bool, len(p.Slowdowns)),
+		diskSeen:   make([]bool, len(p.DiskFaults)),
+		panicLeft:  make([]int, len(p.Panics)),
+	}
+	for i, s := range p.Panics {
+		in.panicLeft[i] = s.Times
+	}
+	return in
+}
+
+// Retry returns the plan's retry policy with defaults applied.
+func (in *Injector) Retry() RetryPolicy { return in.retry }
+
+// Injected returns the number of fault events delivered so far: crashes
+// fired, windows activated, and panics injected.
+func (in *Injector) Injected() int { return in.injected }
+
+// DueCrashes returns the crashes whose triggers have been reached, marking
+// them fired.
+func (in *Injector) DueCrashes(stagesExecuted int, now float64) []Crash {
+	var due []Crash
+	for i, c := range in.plan.Crashes {
+		if in.crashFired[i] {
+			continue
+		}
+		if stagesExecuted >= c.AfterStages && now >= c.At {
+			in.crashFired[i] = true
+			in.injected++
+			due = append(due, c)
+		}
+	}
+	return due
+}
+
+// TransientFactors returns the combined slowdown and disk-degradation
+// multipliers active on the node at virtual time now (1 when none).
+func (in *Injector) TransientFactors(node int, now float64) (slow, disk float64) {
+	slow, disk = 1, 1
+	for i, w := range in.plan.Slowdowns {
+		if w.Node != node || !w.active(now) {
+			continue
+		}
+		slow *= w.Factor
+		if !in.slowSeen[i] {
+			in.slowSeen[i] = true
+			in.injected++
+		}
+	}
+	for i, w := range in.plan.DiskFaults {
+		if w.Node != node || !w.active(now) {
+			continue
+		}
+		disk *= w.Factor
+		if !in.diskSeen[i] {
+			in.diskSeen[i] = true
+			in.injected++
+		}
+	}
+	return slow, disk
+}
+
+// TakePanic reports whether the next invocation of the named operator must
+// panic, consuming one injection from the first matching spec with budget.
+func (in *Injector) TakePanic(op string, target PanicTarget) bool {
+	for i, s := range in.plan.Panics {
+		st := s.Target
+		if st == "" {
+			st = TargetEval
+		}
+		if st != target || in.panicLeft[i] <= 0 {
+			continue
+		}
+		if s.Op != "" && s.Op != op {
+			continue
+		}
+		in.panicLeft[i]--
+		in.injected++
+		return true
+	}
+	return false
+}

@@ -1,0 +1,187 @@
+package faults
+
+import (
+	"testing"
+)
+
+func TestParseAndValidate(t *testing.T) {
+	p, err := Parse([]byte(`{
+		"retry": {"maxAttempts": 2, "backoffSec": 0.5},
+		"crashes": [{"node": 1, "afterStages": 3}, {"node": 2, "at": 10.5, "permanent": true}],
+		"slowdowns": [{"node": 0, "from": 1, "to": 5, "factor": 4}],
+		"diskFaults": [{"node": 3, "factor": 2}],
+		"panics": [{"op": "filter", "target": "transform", "times": 1}]
+	}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(p.Crashes) != 2 || !p.Crashes[1].Permanent || p.Crashes[1].At != 10.5 {
+		t.Fatalf("crashes decoded wrong: %+v", p.Crashes)
+	}
+	if err := p.ValidateFor(4); err != nil {
+		t.Fatalf("ValidateFor(4): %v", err)
+	}
+	if err := p.ValidateFor(2); err == nil {
+		t.Fatal("node 3 must not fit a 2-worker cluster")
+	}
+}
+
+func TestParseRejectsBadPlans(t *testing.T) {
+	cases := []string{
+		`{"crashes": [{"node": -1}]}`,
+		`{"slowdowns": [{"node": 0, "factor": 0}]}`,
+		`{"slowdowns": [{"node": 0, "from": 5, "to": 3, "factor": 2}]}`,
+		`{"panics": [{"times": 0}]}`,
+		`{"panics": [{"times": 1, "target": "nonsense"}]}`,
+		`not json`,
+	}
+	for i, c := range cases {
+		if _, err := Parse([]byte(c)); err == nil {
+			t.Errorf("case %d: bad plan accepted: %s", i, c)
+		}
+	}
+}
+
+func TestValidateForRejectsTotalLoss(t *testing.T) {
+	p := &Plan{Crashes: []Crash{{Node: 0, Permanent: true}, {Node: 1, Permanent: true}}}
+	if err := p.ValidateFor(2); err == nil {
+		t.Fatal("a plan permanently killing every worker must be rejected")
+	}
+	if err := p.ValidateFor(3); err != nil {
+		t.Fatalf("one survivor left, plan should be valid: %v", err)
+	}
+}
+
+func TestRetryDefaultsAndBackoff(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	if p.MaxAttempts != 3 || p.BackoffSec != 1 {
+		t.Fatalf("defaults = %+v, want {3, 1}", p)
+	}
+	if p.Backoff(1) != 1 || p.Backoff(2) != 2 || p.Backoff(3) != 4 {
+		t.Fatalf("backoff sequence = %v %v %v, want 1 2 4",
+			p.Backoff(1), p.Backoff(2), p.Backoff(3))
+	}
+}
+
+func TestFromLegacy(t *testing.T) {
+	if FromLegacy(0, 0) != nil || FromLegacy(-1, 2) != nil {
+		t.Fatal("no-failure sentinels must map to nil")
+	}
+	p := FromLegacy(3, 1)
+	if p == nil || len(p.Crashes) != 1 {
+		t.Fatalf("legacy mapping = %+v, want one crash", p)
+	}
+	if c := p.Crashes[0]; c.Node != 1 || c.AfterStages != 3 || c.Permanent {
+		t.Fatalf("legacy crash = %+v", c)
+	}
+}
+
+func TestGenerateDeterministicAndBounded(t *testing.T) {
+	cfg := GenConfig{Seed: 7, Workers: 4, Crashes: 5, Permanent: 2, EvalPanics: 1, MaxStage: 10}
+	a, b := Generate(cfg), Generate(cfg)
+	if len(a.Crashes) != 5 || len(a.Panics) != 1 {
+		t.Fatalf("generated plan shape wrong: %+v", a)
+	}
+	for i := range a.Crashes {
+		if a.Crashes[i] != b.Crashes[i] {
+			t.Fatal("same seed must generate the same plan")
+		}
+		if c := a.Crashes[i]; c.Node < 0 || c.Node >= 4 || c.AfterStages < 1 || c.AfterStages > 10 {
+			t.Fatalf("crash out of bounds: %+v", c)
+		}
+	}
+	if err := a.ValidateFor(4); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	perm := map[int]bool{}
+	for _, c := range a.Crashes {
+		if c.Permanent {
+			perm[c.Node] = true
+		}
+	}
+	if len(perm) != 2 {
+		t.Fatalf("permanent crashes must hit distinct nodes, got %v", perm)
+	}
+}
+
+func TestInjectorCrashFiresOnce(t *testing.T) {
+	p := &Plan{Crashes: []Crash{{Node: 0, AfterStages: 2}, {Node: 1, At: 100}}}
+	in := NewInjector(p)
+	if due := in.DueCrashes(1, 0); len(due) != 0 {
+		t.Fatalf("nothing due yet, got %v", due)
+	}
+	due := in.DueCrashes(2, 0)
+	if len(due) != 1 || due[0].Node != 0 {
+		t.Fatalf("due = %v, want crash of node 0", due)
+	}
+	if due := in.DueCrashes(3, 50); len(due) != 0 {
+		t.Fatalf("fired crash must not repeat, got %v", due)
+	}
+	due = in.DueCrashes(3, 100)
+	if len(due) != 1 || due[0].Node != 1 {
+		t.Fatalf("due = %v, want time-triggered crash of node 1", due)
+	}
+	if in.Injected() != 2 {
+		t.Fatalf("injected = %d, want 2", in.Injected())
+	}
+}
+
+func TestInjectorImmediateCrash(t *testing.T) {
+	// {node: 0} with zero triggers fires before the first stage — the case
+	// the legacy FailAfterStage sentinel could not express.
+	in := NewInjector(&Plan{Crashes: []Crash{{Node: 0}}})
+	if due := in.DueCrashes(0, 0); len(due) != 1 {
+		t.Fatalf("due = %v, want immediate crash", due)
+	}
+}
+
+func TestInjectorTransientFactors(t *testing.T) {
+	p := &Plan{
+		Slowdowns:  []Window{{Node: 1, From: 10, To: 20, Factor: 3}},
+		DiskFaults: []Window{{Node: 1, From: 0, Factor: 2}}, // open window
+	}
+	in := NewInjector(p)
+	slow, disk := in.TransientFactors(1, 5)
+	if slow != 1 || disk != 2 {
+		t.Fatalf("factors at t=5 = (%v, %v), want (1, 2)", slow, disk)
+	}
+	slow, disk = in.TransientFactors(1, 10)
+	if slow != 3 || disk != 2 {
+		t.Fatalf("factors at t=10 = (%v, %v), want (3, 2)", slow, disk)
+	}
+	if slow, _ = in.TransientFactors(1, 20); slow != 1 {
+		t.Fatalf("window [10,20) must be closed at t=20, slow = %v", slow)
+	}
+	if slow, _ = in.TransientFactors(0, 15); slow != 1 {
+		t.Fatal("other nodes must be unaffected")
+	}
+	if in.Injected() != 2 {
+		t.Fatalf("injected = %d, want 2 window activations counted once", in.Injected())
+	}
+}
+
+func TestInjectorTakePanic(t *testing.T) {
+	p := &Plan{Panics: []PanicSpec{
+		{Op: "score", Times: 1}, // empty target defaults to eval
+		{Target: TargetTransform, Times: 2},
+	}}
+	in := NewInjector(p)
+	if in.TakePanic("other", TargetEval) {
+		t.Fatal("op filter must not match a different operator")
+	}
+	if !in.TakePanic("score", TargetEval) {
+		t.Fatal("matching eval panic must fire")
+	}
+	if in.TakePanic("score", TargetEval) {
+		t.Fatal("budget of 1 must be exhausted")
+	}
+	if !in.TakePanic("any", TargetTransform) || !in.TakePanic("any", TargetTransform) {
+		t.Fatal("wildcard transform spec must fire twice")
+	}
+	if in.TakePanic("any", TargetTransform) {
+		t.Fatal("transform budget exhausted")
+	}
+	if in.Injected() != 3 {
+		t.Fatalf("injected = %d, want 3", in.Injected())
+	}
+}

@@ -55,6 +55,10 @@ type Metrics struct {
 	// Evictions counts spill decisions; SpilledBytes their volume.
 	Evictions    int64
 	SpilledBytes int64
+	// Checkpoints counts anticipatory checkpoint writes; CheckpointedBytes
+	// their volume. Only populated when checkpointing is enabled.
+	Checkpoints       int64
+	CheckpointedBytes int64
 	// PeakResidentBytes is the high-water mark of memory use across nodes.
 	PeakResidentBytes int64
 }
@@ -77,6 +81,8 @@ func (m *Metrics) Merge(other *Metrics) {
 	m.BytesFromDisk += other.BytesFromDisk
 	m.Evictions += other.Evictions
 	m.SpilledBytes += other.SpilledBytes
+	m.Checkpoints += other.Checkpoints
+	m.CheckpointedBytes += other.CheckpointedBytes
 	if other.PeakResidentBytes > m.PeakResidentBytes {
 		m.PeakResidentBytes = other.PeakResidentBytes
 	}
@@ -88,6 +94,10 @@ type entry struct {
 	lastAccess float64
 	inMemory   bool
 	pinned     bool
+	// onDisk records a durable copy on this node's disk, written either by a
+	// spill or by an anticipatory checkpoint. A crashed node re-reads onDisk
+	// partitions; the rest are lost and must be re-derived by lineage.
+	onDisk bool
 }
 
 // Allocator manages the dataset memory of one worker node for one job.
@@ -104,6 +114,12 @@ type Allocator struct {
 	spilled map[dataset.PartKey]int64
 	metrics Metrics
 	seq     float64 // tie-breaking sequence for identical timestamps
+
+	// checkpointing enables durable-copy awareness: spilling a partition
+	// that already has an on-disk copy skips the redundant write, and the
+	// engine may call Checkpoint to write copies anticipatorily. Off by
+	// default so fault-free runs charge exactly the seed's costs.
+	checkpointing bool
 }
 
 // NewAllocator creates an allocator with the given memory capacity on node.
@@ -174,6 +190,7 @@ func (a *Allocator) Put(key dataset.PartKey, bytes int64, t float64) float64 {
 	a.entries[key] = e
 	if bytes > a.capacity {
 		e.inMemory = false
+		e.onDisk = true
 		a.metrics.Evictions++
 		a.metrics.SpilledBytes += bytes
 		a.spilled[key] += bytes
@@ -234,6 +251,10 @@ func (a *Allocator) Discard(key dataset.PartKey) {
 // FailNode models a node failure under checkpoint-based fault tolerance
 // (§5): all resident partitions drop out of memory and must be re-read from
 // their checkpoints on disk.
+//
+// Deprecated: FailNode assumes every partition has a checkpoint. Crash
+// distinguishes checkpointed from lost partitions; use it with a
+// faults.Plan instead.
 func (a *Allocator) FailNode() {
 	for _, e := range a.entries {
 		if e.inMemory {
@@ -241,6 +262,100 @@ func (a *Allocator) FailNode() {
 			a.used -= e.bytes
 		}
 	}
+}
+
+// SetCheckpointing switches the allocator into durable-copy-aware mode: see
+// the checkpointing field. The engine enables it for fault-injected runs.
+func (a *Allocator) SetCheckpointing(on bool) { a.checkpointing = on }
+
+// Checkpoint writes a durable on-disk copy of a resident partition without
+// evicting it, charging the disk write as a background operation starting at
+// t, and returns the write-completion time. It is a no-op (returning t) when
+// the partition is unknown or already durable. The engine drives this for
+// AMM's anticipatory checkpointing of consumed intermediates.
+func (a *Allocator) Checkpoint(key dataset.PartKey, t float64) float64 {
+	e, ok := a.entries[key]
+	if !ok || e.onDisk {
+		return t
+	}
+	e.onDisk = true
+	a.metrics.Checkpoints++
+	a.metrics.CheckpointedBytes += e.bytes
+	return a.node.Disk(t, a.cfg.DiskWriteSec(e.bytes))
+}
+
+// Checkpointed reports whether the partition has a durable on-disk copy at
+// this node.
+func (a *Allocator) Checkpointed(key dataset.PartKey) bool {
+	e, ok := a.entries[key]
+	return ok && e.onDisk
+}
+
+// Lost identifies a partition whose only copy disappeared in a failure; the
+// engine re-derives it by lineage.
+type Lost struct {
+	Key   dataset.PartKey
+	Bytes int64
+}
+
+// Crash models a process restart of the node (a non-permanent failure):
+// every resident partition drops out of memory; partitions with a durable
+// on-disk copy survive and will be re-read on next access, the rest are
+// removed from the allocator and returned for lineage re-derivation.
+func (a *Allocator) Crash() []Lost {
+	var lost []Lost
+	for _, e := range a.entries {
+		if e.inMemory {
+			e.inMemory = false
+			a.used -= e.bytes
+		}
+		if !e.onDisk {
+			lost = append(lost, Lost{Key: e.key, Bytes: e.bytes})
+			delete(a.entries, e.key)
+		}
+	}
+	sortLost(lost)
+	return lost
+}
+
+// Evacuate empties the allocator for a permanent node loss, returning the
+// partitions that have durable copies (re-creatable from the distributed
+// file system on a surviving node via AdoptSpilled) separately from those
+// lost outright (requiring lineage re-derivation).
+func (a *Allocator) Evacuate() (checkpointed, lost []Lost) {
+	for _, e := range a.entries {
+		l := Lost{Key: e.key, Bytes: e.bytes}
+		if e.onDisk {
+			checkpointed = append(checkpointed, l)
+		} else {
+			lost = append(lost, l)
+		}
+	}
+	a.entries = make(map[dataset.PartKey]*entry)
+	a.used = 0
+	sortLost(checkpointed)
+	sortLost(lost)
+	return checkpointed, lost
+}
+
+// AdoptSpilled registers a partition at this node as an on-disk copy without
+// charging any I/O; the engine charges the transfer that moved it. Used when
+// rebalancing a dead node's checkpointed partitions onto survivors.
+func (a *Allocator) AdoptSpilled(key dataset.PartKey, bytes int64) {
+	if _, ok := a.entries[key]; ok {
+		return
+	}
+	a.entries[key] = &entry{key: key, bytes: bytes, onDisk: true}
+}
+
+// sortLost orders failure reports by key for deterministic recovery.
+func sortLost(ls []Lost) {
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].Key.Dataset != ls[j].Key.Dataset {
+			return ls[i].Key.Dataset < ls[j].Key.Dataset
+		}
+		return ls[i].Key.Index < ls[j].Key.Index
+	})
 }
 
 // makeRoom evicts partitions per policy until bytes fit, charging disk
@@ -254,6 +369,11 @@ func (a *Allocator) makeRoom(bytes int64, t float64) float64 {
 		victim.inMemory = false
 		a.used -= victim.bytes
 		a.metrics.Evictions++
+		if a.checkpointing && victim.onDisk {
+			// A durable copy already exists; dropping residency is free.
+			continue
+		}
+		victim.onDisk = true
 		a.metrics.SpilledBytes += victim.bytes
 		a.spilled[victim.key] += victim.bytes
 		t = a.node.Disk(t, a.cfg.DiskWriteSec(victim.bytes))

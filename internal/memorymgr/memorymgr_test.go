@@ -184,6 +184,109 @@ func TestFailNodeDropsResidency(t *testing.T) {
 	}
 }
 
+func TestCrashSplitsCheckpointedFromLost(t *testing.T) {
+	a, n := newAlloc(1<<20, AMM, accMap{})
+	a.SetCheckpointing(true)
+	a.Put(key(1), 1000, 0)
+	a.Put(key(2), 2000, 1)
+	_, disk0, _ := n.FreeAt()
+	end := a.Checkpoint(key(1), 2)
+	if end <= 2 {
+		t.Fatal("checkpoint must charge a disk write")
+	}
+	if _, disk1, _ := n.FreeAt(); disk1 <= disk0 {
+		t.Fatal("checkpoint must occupy the disk timeline")
+	}
+	if a.Checkpoint(key(1), end) != end {
+		t.Fatal("re-checkpointing a durable partition must be free")
+	}
+	if !a.Resident(key(1)) {
+		t.Fatal("checkpointing must not evict")
+	}
+	lost := a.Crash()
+	if len(lost) != 1 || lost[0].Key != key(2) {
+		t.Fatalf("lost = %v, want only un-checkpointed key(2)", lost)
+	}
+	if !a.Known(key(1)) || a.Resident(key(1)) {
+		t.Fatal("checkpointed partition must survive on disk, non-resident")
+	}
+	if a.Known(key(2)) {
+		t.Fatal("lost partition must be forgotten")
+	}
+	if a.Used() != 0 {
+		t.Fatalf("used = %d after crash, want 0", a.Used())
+	}
+	m := a.Metrics()
+	if m.Checkpoints != 1 || m.CheckpointedBytes != 1000 {
+		t.Fatalf("checkpoint metrics = %d/%d, want 1/1000", m.Checkpoints, m.CheckpointedBytes)
+	}
+}
+
+func TestEvacuateAndAdoptSpilled(t *testing.T) {
+	a, _ := newAlloc(1<<20, AMM, accMap{})
+	a.SetCheckpointing(true)
+	a.Put(key(1), 1000, 0)
+	a.Put(key(2), 2000, 1)
+	a.Checkpoint(key(2), 2)
+	ckpt, lost := a.Evacuate()
+	if len(ckpt) != 1 || ckpt[0].Key != key(2) {
+		t.Fatalf("checkpointed = %v, want key(2)", ckpt)
+	}
+	if len(lost) != 1 || lost[0].Key != key(1) {
+		t.Fatalf("lost = %v, want key(1)", lost)
+	}
+	if a.Known(key(1)) || a.Known(key(2)) || a.Used() != 0 {
+		t.Fatal("evacuated allocator must be empty")
+	}
+
+	survivor, _ := newAlloc(1<<20, AMM, accMap{})
+	survivor.AdoptSpilled(ckpt[0].Key, ckpt[0].Bytes)
+	if !survivor.Known(key(2)) || survivor.Resident(key(2)) {
+		t.Fatal("adopted partition must be known on-disk, non-resident")
+	}
+	_, hit, err := survivor.Access(key(2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first access of an adopted partition must be a disk read")
+	}
+}
+
+func TestCheckpointedVictimSpillsForFree(t *testing.T) {
+	a, n := newAlloc(2500, LRU, nil)
+	a.SetCheckpointing(true)
+	a.Put(key(1), 1000, 0)
+	a.Checkpoint(key(1), 1)
+	_, diskBefore, _ := n.FreeAt()
+	spilled := a.Metrics().SpilledBytes
+	a.Put(key(2), 1000, 2)
+	a.Put(key(3), 1000, 3) // evicts key(1), which is already durable
+	if a.Resident(key(1)) {
+		t.Fatal("key(1) should have been evicted")
+	}
+	if _, diskAfter, _ := n.FreeAt(); diskAfter != diskBefore {
+		t.Fatal("evicting a checkpointed partition must not re-write it")
+	}
+	if a.Metrics().SpilledBytes != spilled {
+		t.Fatal("no spill bytes for a durable victim")
+	}
+	if a.Metrics().Evictions == 0 {
+		t.Fatal("the eviction itself must still be counted")
+	}
+}
+
+func TestSpillWithoutCheckpointingUnchanged(t *testing.T) {
+	a, n := newAlloc(2500, LRU, nil)
+	a.Put(key(1), 1000, 0)
+	a.Put(key(2), 1000, 1)
+	_, diskBefore, _ := n.FreeAt()
+	a.Put(key(3), 1000, 2)
+	if _, diskAfter, _ := n.FreeAt(); diskAfter <= diskBefore {
+		t.Fatal("without checkpointing mode every spill charges a disk write")
+	}
+}
+
 func TestHitRatio(t *testing.T) {
 	var m Metrics
 	if m.HitRatio() != 1 {
