@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race experiments-quick ci clean
+.PHONY: all build test vet lint race experiments-quick ci clean
 
 all: build
 
@@ -9,6 +9,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs mdflint, the repo's determinism static analyzer (see
+# ARCHITECTURE.md "Determinism rules"). It exits nonzero on any finding.
+lint:
+	$(GO) run ./cmd/mdflint ./...
 
 test:
 	$(GO) test ./...
@@ -24,7 +29,7 @@ experiments-quick: build
 	$(GO) run ./cmd/mdfbench -exp reliability -quick -seeds 1 -csv
 
 # ci is the gate a change must pass before merging.
-ci: vet build race experiments-quick
+ci: vet lint build race experiments-quick
 
 clean:
 	$(GO) clean ./...

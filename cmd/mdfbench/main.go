@@ -42,6 +42,11 @@ func main() {
 		return
 	}
 
+	if *seeds < 1 {
+		fmt.Fprintf(os.Stderr, "mdfbench: -seeds must be at least 1 (got %d)\n", *seeds)
+		os.Exit(2)
+	}
+
 	opts := experiments.Options{Seeds: *seeds, Quick: *quick}
 	var selected []experiments.Experiment
 	if *exp == "all" {
@@ -49,7 +54,7 @@ func main() {
 	} else {
 		e, err := experiments.ByID(*exp)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(os.Stderr, "mdfbench: %v\nusage: mdfbench -exp <id> [-quick] [-seeds n] [-csv|-markdown] [-out dir]\nrun 'mdfbench -list' for the available experiment ids\n", err)
 			os.Exit(2)
 		}
 		selected = []experiments.Experiment{e}

@@ -1,0 +1,148 @@
+// Command mdflint runs the repo's determinism and simulator-discipline
+// static-analysis suite (internal/analysis): wallclock, seededrand,
+// maporder and droppederr. It prints one `file:line: [rule] message`
+// diagnostic per finding and exits nonzero when any survive, so `make ci`
+// can gate on it.
+//
+// Usage:
+//
+//	mdflint ./...                  # whole module (the ci gate)
+//	mdflint ./internal/engine      # one subtree
+//	mdflint -rules maporder ./...  # a subset of rules
+//	mdflint -list                  # list the rules
+//
+// Findings are suppressed with a `//lint:allow <rule>` comment on the
+// offending line or the line above it; see ARCHITECTURE.md, "Determinism
+// rules".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"metadataflow/internal/analysis"
+)
+
+func main() {
+	var (
+		rules = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		list  = flag.Bool("list", false, "list the available rules and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mdflint [-rules r1,r2] [-list] [./... | dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, r := range analysis.Rules() {
+			fmt.Println(r)
+		}
+		return
+	}
+
+	cfg := analysis.DefaultConfig()
+	if *rules != "" {
+		known := map[string]bool{}
+		for _, r := range analysis.Rules() {
+			known[r] = true
+		}
+		for _, r := range strings.Split(*rules, ",") {
+			r = strings.TrimSpace(r)
+			if !known[r] {
+				fmt.Fprintf(os.Stderr, "mdflint: unknown rule %q (have %s)\n",
+					r, strings.Join(analysis.Rules(), ", "))
+				os.Exit(2)
+			}
+			cfg.Rules = append(cfg.Rules, r)
+		}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdflint:", err)
+		os.Exit(2)
+	}
+	m, err := analysis.Load(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdflint:", err)
+		os.Exit(2)
+	}
+
+	prefixes, err := pathPrefixes(flag.Args(), root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdflint:", err)
+		os.Exit(2)
+	}
+
+	findings := analysis.Run(m, cfg)
+	n := 0
+	for _, f := range findings {
+		if !underAny(f.File, prefixes) {
+			continue
+		}
+		fmt.Println(f)
+		n++
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "mdflint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// pathPrefixes converts the command-line patterns into module-relative
+// directory prefixes; "./..." (or no argument) means everything.
+func pathPrefixes(args []string, root string) ([]string, error) {
+	var out []string
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." || arg == "." {
+			return nil, nil // everything
+		}
+		arg = strings.TrimSuffix(arg, "/...")
+		abs, err := filepath.Abs(arg)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("path %q is outside the module", arg)
+		}
+		out = append(out, filepath.ToSlash(rel))
+	}
+	return out, nil
+}
+
+// underAny reports whether the file path is under one of the prefixes (an
+// empty prefix list matches everything).
+func underAny(path string, prefixes []string) bool {
+	if len(prefixes) == 0 {
+		return true
+	}
+	for _, p := range prefixes {
+		if p == "." || path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -50,8 +51,20 @@ func main() {
 	flag.Parse()
 	if err := run(*job, *specPath, *sched, *policy, *incremental, *workers, *memGB, *mode, *seed, *trace, *traceJSON, *spills, *speculative, *faultSpec); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, "run 'mdfrun -h' for the accepted flag values")
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
+}
+
+// errUsage marks errors caused by a bad flag value rather than a failed
+// run; main exits 2 and points at -h for these.
+var errUsage = errors.New("invalid usage")
+
+func usageErrorf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{errUsage}, args...)...)
 }
 
 // loadFaults decodes the -faults argument: inline JSON when it starts with
@@ -97,9 +110,19 @@ func run(job, specPath, sched, policy string, incremental bool, workers int, mem
 	if err != nil {
 		return err
 	}
-	pol := memorymgr.AMM
-	if policy == "lru" {
+	var pol memorymgr.PolicyKind
+	switch policy {
+	case "amm":
+		pol = memorymgr.AMM
+	case "lru":
 		pol = memorymgr.LRU
+	default:
+		return usageErrorf("mdfrun: unknown policy %q (want amm or lru)", policy)
+	}
+	switch sched {
+	case "bas", "bas-sorted", "bas-random", "bfs":
+	default:
+		return usageErrorf("mdfrun: unknown scheduler %q (want bas, bas-sorted, bas-random, or bfs)", sched)
 	}
 	newSched := func() scheduler.Policy {
 		switch sched {
@@ -116,10 +139,10 @@ func run(job, specPath, sched, policy string, incremental bool, workers int, mem
 
 	fplan, err := loadFaults(faultSpec)
 	if err != nil {
-		return err
+		return usageErrorf("mdfrun: bad -faults value: %v (want inline JSON starting with '{' or a path to a JSON fault plan)", err)
 	}
 	if fplan != nil && mode != "mdf" {
-		return fmt.Errorf("mdfrun: -faults is only supported in mdf mode")
+		return usageErrorf("mdfrun: -faults is only supported in mdf mode")
 	}
 
 	switch {
@@ -186,7 +209,7 @@ func run(job, specPath, sched, policy string, incremental bool, workers int, mem
 	default:
 		var k int
 		if _, err := fmt.Sscanf(mode, "parallel:%d", &k); err != nil || k < 1 {
-			return fmt.Errorf("mdfrun: mode must be mdf, sequential, or parallel:<k>")
+			return usageErrorf("mdfrun: unknown mode %q (want mdf, sequential, or parallel:<k>)", mode)
 		}
 		jobs, err := baseline.ExpandJobs(g)
 		if err != nil {
@@ -271,5 +294,5 @@ func buildJob(job string, seed int64) (*graph.Graph, error) {
 		p.Seed = seed
 		return synthetic.BuildMDF(p)
 	}
-	return nil, fmt.Errorf("mdfrun: unknown job %q", job)
+	return nil, usageErrorf("mdfrun: unknown job %q (want kde, kde-scoped, kde-example, dnn, dnn-early, dnn-iterative, timeseries, or synthetic)", job)
 }

@@ -1,0 +1,194 @@
+// Package analysis implements mdflint, the repo's determinism and
+// simulator-discipline static-analysis suite. Every result the repo
+// reproduces depends on the discrete-event simulator replaying
+// bit-identically for a given seed, so the rules that keep it deterministic
+// are machine-checked instead of remembered:
+//
+//   - wallclock:  no time.Now/Since/Sleep/... inside the simulator packages;
+//     virtual time is the only clock.
+//   - seededrand: no top-level math/rand functions in internal/; randomness
+//     must come from an explicitly seeded *rand.Rand (stats.RNG).
+//   - maporder:   no order-dependent work (appends, channel sends, output
+//     emission, float accumulation) inside `range` over a map unless the
+//     result is sorted afterwards.
+//   - droppederr: no `_`-discarded error results in non-test internal code.
+//
+// The suite is built only on go/parser, go/ast and go/token — no module
+// dependencies and no full type checker. Type questions ("is this a map?",
+// "is this result an error?") are answered best-effort from a syntactic
+// index of the whole module (see index.go); when the answer is unknown the
+// analyzers stay silent, so every finding is actionable.
+//
+// A finding can be suppressed by a `//lint:allow <rule>` comment on the
+// offending line or the line directly above it, optionally followed by a
+// reason: `//lint:allow maporder -- aggregation is commutative`.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	// File is the file path relative to the module root, slash-separated.
+	File string
+	// Line is the 1-based source line.
+	Line int
+	// Rule is the analyzer that produced the finding.
+	Rule string
+	// Msg describes the violation and how to fix it.
+	Msg string
+}
+
+// String renders the diagnostic in the conventional file:line form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Rule, f.Msg)
+}
+
+// Rule names, in the order diagnostics are documented.
+const (
+	RuleWallclock  = "wallclock"
+	RuleSeededRand = "seededrand"
+	RuleMapOrder   = "maporder"
+	RuleDroppedErr = "droppederr"
+)
+
+// Rules lists every rule the suite implements.
+func Rules() []string {
+	return []string{RuleWallclock, RuleSeededRand, RuleMapOrder, RuleDroppedErr}
+}
+
+// RuleScope says where one rule applies.
+type RuleScope struct {
+	// Dirs are slash-separated directory prefixes relative to the module
+	// root; a file is in scope when its path is under one of them. An empty
+	// list disables the rule.
+	Dirs []string
+	// IncludeTests extends the rule to _test.go files.
+	IncludeTests bool
+}
+
+func (s RuleScope) applies(relPath string, isTest bool) bool {
+	if isTest && !s.IncludeTests {
+		return false
+	}
+	for _, d := range s.Dirs {
+		if relPath == d || strings.HasPrefix(relPath, d+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Config is the suite's policy: which rule runs where, and the small
+// vocabularies the heuristic analyzers use.
+type Config struct {
+	Wallclock  RuleScope
+	SeededRand RuleScope
+	MapOrder   RuleScope
+	DroppedErr RuleScope
+
+	// WallclockFuncs are the forbidden package-level time functions.
+	WallclockFuncs []string
+	// SeededRandFuncs are the forbidden top-level math/rand functions (the
+	// ones backed by the unseeded global source). Constructors (New,
+	// NewSource, NewZipf) stay allowed.
+	SeededRandFuncs []string
+	// EmitNames are function or method names whose call inside a
+	// range-over-map loop counts as emitting externally visible output in
+	// iteration order (trace events, CSV rows, log lines).
+	EmitNames []string
+	// Rules restricts the run to a subset of rule names; empty means all.
+	Rules []string
+}
+
+// DefaultConfig returns the repository policy described in the package
+// comment: the virtual-clock packages for wallclock, all of internal/ for
+// the other three rules.
+func DefaultConfig() Config {
+	return Config{
+		Wallclock: RuleScope{Dirs: []string{
+			"internal/engine",
+			"internal/cluster",
+			"internal/scheduler",
+			"internal/memorymgr",
+			"internal/baseline",
+			"internal/experiments",
+			"internal/faults",
+			"internal/mdf",
+		}},
+		SeededRand: RuleScope{Dirs: []string{"internal"}, IncludeTests: true},
+		MapOrder:   RuleScope{Dirs: []string{"internal"}},
+		DroppedErr: RuleScope{Dirs: []string{"internal"}},
+
+		WallclockFuncs: []string{
+			"Now", "Since", "Until", "Sleep", "After", "AfterFunc",
+			"Tick", "NewTimer", "NewTicker",
+		},
+		SeededRandFuncs: []string{
+			"Int", "Intn", "Int31", "Int31n", "Int63", "Int63n",
+			"Uint32", "Uint64", "Float32", "Float64",
+			"NormFloat64", "ExpFloat64", "Perm", "Shuffle", "Seed", "Read",
+		},
+		EmitNames: []string{
+			"trace", "Emit", "Record", "Printf", "Println", "Print",
+			"Fprintf", "Fprintln", "Fprint", "WriteString",
+		},
+	}
+}
+
+func (c Config) ruleEnabled(rule string) bool {
+	if len(c.Rules) == 0 {
+		return true
+	}
+	for _, r := range c.Rules {
+		if r == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes every enabled analyzer over the module and returns the
+// surviving findings sorted by file, line and rule.
+func Run(m *Module, cfg Config) []Finding {
+	var all []Finding
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			if cfg.ruleEnabled(RuleWallclock) && cfg.Wallclock.applies(f.Path, f.IsTest) {
+				all = append(all, checkWallclock(f, cfg)...)
+			}
+			if cfg.ruleEnabled(RuleSeededRand) && cfg.SeededRand.applies(f.Path, f.IsTest) {
+				all = append(all, checkSeededRand(f, cfg)...)
+			}
+			if cfg.ruleEnabled(RuleMapOrder) && cfg.MapOrder.applies(f.Path, f.IsTest) {
+				all = append(all, checkMapOrder(m, f, cfg)...)
+			}
+			if cfg.ruleEnabled(RuleDroppedErr) && cfg.DroppedErr.applies(f.Path, f.IsTest) {
+				all = append(all, checkDroppedErr(m, f)...)
+			}
+		}
+	}
+	var kept []Finding
+	for _, fd := range all {
+		if !m.suppressed(fd) {
+			kept = append(kept, fd)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	return kept
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fixtureConfig maps the default policy onto the fixture tree: each rule
+// gets the fixture package exercising it.
+func fixtureConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Wallclock.Dirs = []string{"sim"}
+	cfg.SeededRand = RuleScope{Dirs: []string{"randuse"}, IncludeTests: true}
+	cfg.MapOrder = RuleScope{Dirs: []string{"maporder"}}
+	cfg.DroppedErr = RuleScope{Dirs: []string{"droppederr"}}
+	return cfg
+}
+
+var wantRe = regexp.MustCompile(`// want:([a-z,]+)`)
+
+// wantMarkers scans the fixture sources for `// want:<rule>` markers and
+// returns the expected "file:line:rule" set.
+func wantMarkers(t *testing.T, root string) map[string]bool {
+	t.Helper()
+	want := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRe.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			for _, rule := range strings.Split(m[1], ",") {
+				want[fmt.Sprintf("%s:%d:%s", rel, line, rule)] = true
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestFixtures runs the suite over the fixture tree and requires the
+// findings to match the // want markers exactly — no misses, no extras.
+// The marker-free //lint:allow lines double as the suppression tests.
+func TestFixtures(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	m, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Path != "fixture" {
+		t.Fatalf("module path = %q, want fixture", m.Path)
+	}
+	findings := Run(m, fixtureConfig())
+
+	got := map[string]bool{}
+	for _, f := range findings {
+		got[fmt.Sprintf("%s:%d:%s", f.File, f.Line, f.Rule)] = true
+	}
+	want := wantMarkers(t, root)
+	if len(want) == 0 {
+		t.Fatal("no want markers found; fixture tree missing?")
+	}
+	for key := range want {
+		if !got[key] {
+			t.Errorf("missing finding %s", key)
+		}
+	}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d:%s", f.File, f.Line, f.Rule)
+		if !want[key] {
+			t.Errorf("unexpected finding %s", f)
+		}
+	}
+	if t.Failed() {
+		var lines []string
+		for _, f := range findings {
+			lines = append(lines, f.String())
+		}
+		t.Logf("all findings:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestFixturesDetectViolations is the exit-code contract in miniature: a
+// tree with violations must produce findings (mdflint exits nonzero on
+// any), and per-rule runs must catch their own rule.
+func TestFixturesDetectViolations(t *testing.T) {
+	m, err := Load(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rule := range Rules() {
+		cfg := fixtureConfig()
+		cfg.Rules = []string{rule}
+		findings := Run(m, cfg)
+		if len(findings) == 0 {
+			t.Errorf("rule %s found nothing in its fixture", rule)
+		}
+		for _, f := range findings {
+			if f.Rule != rule {
+				t.Errorf("rule filter %s produced finding for %s: %s", rule, f.Rule, f)
+			}
+		}
+	}
+}
+
+// TestRepoIsClean locks the acceptance criterion in place: the repository
+// itself must stay free of findings under the default policy. If this test
+// fails, fix the violation or justify it with a //lint:allow comment.
+func TestRepoIsClean(t *testing.T) {
+	m, err := Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Path != "metadataflow" {
+		t.Fatalf("module path = %q, want metadataflow", m.Path)
+	}
+	findings := Run(m, DefaultConfig())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestFindingString pins the diagnostic format the Makefile and editors
+// parse.
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "internal/engine/exec.go", Line: 42, Rule: RuleMapOrder, Msg: "boom"}
+	want := "internal/engine/exec.go:42: [maporder] boom"
+	if f.String() != want {
+		t.Fatalf("String() = %q, want %q", f.String(), want)
+	}
+}
+
+// TestFindingsSorted checks the deterministic output order: a linter about
+// determinism ought to report deterministically.
+func TestFindingsSorted(t *testing.T) {
+	m, err := Load(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(m, fixtureConfig())
+	sorted := sort.SliceIsSorted(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Rule < b.Rule
+	})
+	if !sorted {
+		t.Fatal("findings are not sorted by file, line, rule")
+	}
+}

@@ -1,0 +1,500 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// The index answers type questions syntactically: every function, method,
+// interface method, named type and package-level variable of the module is
+// recorded with the file it was declared in, so a type expression can later
+// be resolved through that file's import table. No package is compiled; when
+// a question cannot be answered the resolver returns "unknown" and the
+// analyzers stay silent rather than guess.
+
+// funcInfo is a function, method or interface-method declaration.
+type funcInfo struct {
+	ft   *ast.FuncType
+	file *File
+}
+
+// typeInfo is a named type declaration.
+type typeInfo struct {
+	expr ast.Expr
+	file *File
+}
+
+// typeRef is a type expression plus the file whose import table resolves
+// the identifiers inside it. A nil expr means the type is unknown.
+type typeRef struct {
+	expr ast.Expr
+	file *File
+}
+
+func (t typeRef) known() bool { return t.expr != nil }
+
+// buildIndex populates each package's declaration maps.
+func (m *Module) buildIndex() {
+	for _, pkg := range m.Packages {
+		pkg.funcs = map[string]*funcInfo{}
+		pkg.methods = map[string][]*funcInfo{}
+		pkg.types = map[string]*typeInfo{}
+		pkg.vars = map[string]typeRef{}
+		for _, f := range pkg.Files {
+			for _, decl := range f.AST.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					info := &funcInfo{ft: d.Type, file: f}
+					if d.Recv != nil {
+						pkg.methods[d.Name.Name] = append(pkg.methods[d.Name.Name], info)
+					} else {
+						pkg.funcs[d.Name.Name] = info
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							pkg.types[s.Name.Name] = &typeInfo{expr: s.Type, file: f}
+							if iface, ok := s.Type.(*ast.InterfaceType); ok {
+								for _, field := range iface.Methods.List {
+									ft, ok := field.Type.(*ast.FuncType)
+									if !ok {
+										continue
+									}
+									for _, name := range field.Names {
+										pkg.methods[name.Name] = append(pkg.methods[name.Name], &funcInfo{ft: ft, file: f})
+									}
+								}
+							}
+						case *ast.ValueSpec:
+							if d.Tok != token.VAR {
+								continue
+							}
+							for i, name := range s.Names {
+								if name.Name == "_" {
+									continue
+								}
+								if s.Type != nil {
+									pkg.vars[name.Name] = typeRef{expr: s.Type, file: f}
+								} else if i < len(s.Values) {
+									pkg.vars[name.Name] = literalType(s.Values[i], f)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// pkgForImport resolves an import path to a module package, or nil.
+func (m *Module) pkgForImport(path string) *Package { return m.byImportPath[path] }
+
+// methodsNamed returns every method (or interface method) of the module
+// with the given name.
+func (m *Module) methodsNamed(name string) []*funcInfo {
+	var out []*funcInfo
+	for _, pkg := range m.Packages {
+		out = append(out, pkg.methods[name]...)
+	}
+	return out
+}
+
+// resultTypes flattens a function type's results into one typeRef per
+// returned value.
+func resultTypes(ft *ast.FuncType, file *File) []typeRef {
+	if ft.Results == nil {
+		return nil
+	}
+	var out []typeRef
+	for _, field := range ft.Results.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, typeRef{expr: field.Type, file: file})
+		}
+	}
+	return out
+}
+
+// stdlibErrLast lists standard-library functions whose last result is an
+// error, keyed by import path and name, with the total result count. Only
+// functions whose dropped error is a real bug belong here.
+var stdlibErrLast = map[string]map[string]int{
+	"os": {
+		"ReadFile": 2, "WriteFile": 1, "MkdirAll": 1, "Mkdir": 1,
+		"Remove": 1, "RemoveAll": 1, "Rename": 1, "Create": 2, "Open": 2,
+		"Chdir": 1, "Setenv": 1,
+	},
+	"strconv": {
+		"Atoi": 2, "ParseFloat": 2, "ParseInt": 2, "ParseUint": 2, "ParseBool": 2,
+	},
+	"encoding/json": {"Marshal": 2, "MarshalIndent": 2, "Unmarshal": 1},
+	"io":            {"Copy": 2, "ReadAll": 2, "WriteString": 2},
+}
+
+// errorIdent is the pseudo type expression used for results known to be
+// errors only through the stdlib table.
+var errorIdent = &ast.Ident{Name: "error"}
+
+// callResults resolves the result types of a call expression, best-effort.
+// The boolean reports whether the callee was resolved at all; an unresolved
+// callee yields (nil, false) and the caller must stay silent.
+func (m *Module) callResults(call *ast.CallExpr, file *File) ([]typeRef, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if info, ok := file.Pkg.funcs[fun.Name]; ok {
+			return resultTypes(info.ft, info.file), true
+		}
+		return nil, false
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if path, isImport := file.Imports[x.Name]; isImport {
+				if pkg := m.pkgForImport(path); pkg != nil {
+					if info, ok := pkg.funcs[fun.Sel.Name]; ok {
+						return resultTypes(info.ft, info.file), true
+					}
+					return nil, false
+				}
+				if sigs, ok := stdlibErrLast[path]; ok {
+					if n, ok := sigs[fun.Sel.Name]; ok {
+						out := make([]typeRef, n)
+						out[n-1] = typeRef{expr: errorIdent, file: file}
+						return out, true
+					}
+				}
+				return nil, false
+			}
+		}
+		// A method call: without the receiver's type, use every method of
+		// that name in the module — but only when they all agree on the
+		// result shape, so a mixed bag cannot produce a wrong answer.
+		return m.agreeingMethodResults(fun.Sel.Name)
+	}
+	return nil, false
+}
+
+// agreeingMethodResults returns the shared result shape of every module
+// method named name: same arity, and "error"-ness agreeing position by
+// position. Positions whose concrete types differ come back with a known
+// error identity but an unknown type expression.
+func (m *Module) agreeingMethodResults(name string) ([]typeRef, bool) {
+	cands := m.methodsNamed(name)
+	if len(cands) == 0 {
+		return nil, false
+	}
+	var agreed []typeRef
+	for i, c := range cands {
+		rs := resultTypes(c.ft, c.file)
+		if i == 0 {
+			agreed = append([]typeRef(nil), rs...)
+			continue
+		}
+		if len(rs) != len(agreed) {
+			return nil, false
+		}
+		for j := range rs {
+			if isErrorType(rs[j]) != isErrorType(agreed[j]) {
+				return nil, false
+			}
+			if !sameTypeExpr(rs[j].expr, agreed[j].expr) {
+				// Keep the error verdict, drop the concrete type.
+				if isErrorType(agreed[j]) {
+					agreed[j] = typeRef{expr: errorIdent, file: agreed[j].file}
+				} else {
+					agreed[j] = typeRef{file: agreed[j].file}
+				}
+			}
+		}
+	}
+	return agreed, true
+}
+
+// sameTypeExpr compares two type expressions structurally (identifiers and
+// selectors only; anything deeper is considered different unless identical
+// by shape).
+func sameTypeExpr(a, b ast.Expr) bool {
+	switch at := a.(type) {
+	case *ast.Ident:
+		bt, ok := b.(*ast.Ident)
+		return ok && at.Name == bt.Name
+	case *ast.SelectorExpr:
+		bt, ok := b.(*ast.SelectorExpr)
+		if !ok || at.Sel.Name != bt.Sel.Name {
+			return false
+		}
+		return sameTypeExpr(at.X, bt.X)
+	case *ast.StarExpr:
+		bt, ok := b.(*ast.StarExpr)
+		return ok && sameTypeExpr(at.X, bt.X)
+	case *ast.ArrayType:
+		bt, ok := b.(*ast.ArrayType)
+		return ok && at.Len == nil && bt.Len == nil && sameTypeExpr(at.Elt, bt.Elt)
+	case *ast.MapType:
+		bt, ok := b.(*ast.MapType)
+		return ok && sameTypeExpr(at.Key, bt.Key) && sameTypeExpr(at.Value, bt.Value)
+	}
+	return false
+}
+
+// isErrorType reports whether a type expression is the predeclared error
+// type.
+func isErrorType(t typeRef) bool {
+	id, ok := t.expr.(*ast.Ident)
+	return ok && id.Name == "error"
+}
+
+// underlying resolves a type reference through named types (one package hop
+// per step, bounded) down to its structural form.
+func (m *Module) underlying(t typeRef) typeRef {
+	for depth := 0; depth < 8 && t.known(); depth++ {
+		switch e := ast.Unparen(t.expr).(type) {
+		case *ast.StarExpr:
+			t = typeRef{expr: e.X, file: t.file}
+		case *ast.Ident:
+			info, ok := t.file.Pkg.types[e.Name]
+			if !ok {
+				return t
+			}
+			t = typeRef{expr: info.expr, file: info.file}
+		case *ast.SelectorExpr:
+			x, ok := ast.Unparen(e.X).(*ast.Ident)
+			if !ok {
+				return typeRef{}
+			}
+			path, isImport := t.file.Imports[x.Name]
+			if !isImport {
+				return typeRef{}
+			}
+			pkg := m.pkgForImport(path)
+			if pkg == nil {
+				return typeRef{}
+			}
+			info, ok := pkg.types[e.Sel.Name]
+			if !ok {
+				return typeRef{}
+			}
+			t = typeRef{expr: info.expr, file: info.file}
+		default:
+			return t
+		}
+	}
+	return t
+}
+
+// isMapType reports whether the resolved type is a map.
+func (m *Module) isMapType(t typeRef) bool {
+	u := m.underlying(t)
+	if !u.known() {
+		return false
+	}
+	_, ok := ast.Unparen(u.expr).(*ast.MapType)
+	return ok
+}
+
+// isFloatType reports whether the resolved type is float32 or float64.
+func (m *Module) isFloatType(t typeRef) bool {
+	u := m.underlying(t)
+	if !u.known() {
+		return false
+	}
+	id, ok := ast.Unparen(u.expr).(*ast.Ident)
+	return ok && (id.Name == "float64" || id.Name == "float32")
+}
+
+// fieldType looks up a field of a (possibly pointer-to) struct type.
+func (m *Module) fieldType(structT typeRef, name string) typeRef {
+	u := m.underlying(structT)
+	if !u.known() {
+		return typeRef{}
+	}
+	st, ok := ast.Unparen(u.expr).(*ast.StructType)
+	if !ok {
+		return typeRef{}
+	}
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name == name {
+				return typeRef{expr: field.Type, file: u.file}
+			}
+		}
+	}
+	return typeRef{}
+}
+
+// literalType infers a type reference from a value expression that carries
+// its type syntactically: make(T, ...), T{...}, &T{...}, new(T), basic
+// literals.
+func literalType(e ast.Expr, file *File) typeRef {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && len(v.Args) > 0 {
+			if id.Name == "make" || id.Name == "new" {
+				return typeRef{expr: v.Args[0], file: file}
+			}
+		}
+	case *ast.CompositeLit:
+		if v.Type != nil {
+			return typeRef{expr: v.Type, file: file}
+		}
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return literalType(v.X, file)
+		}
+	case *ast.BasicLit:
+		switch v.Kind {
+		case token.FLOAT:
+			return typeRef{expr: &ast.Ident{Name: "float64"}, file: file}
+		case token.INT:
+			return typeRef{expr: &ast.Ident{Name: "int"}, file: file}
+		case token.STRING:
+			return typeRef{expr: &ast.Ident{Name: "string"}, file: file}
+		}
+	}
+	return typeRef{}
+}
+
+// scope carries the best-effort types of the identifiers visible inside one
+// function.
+type scope struct {
+	m     *Module
+	file  *File
+	types map[string]typeRef
+}
+
+// newScope builds the identifier-type table of fn: receiver, parameters,
+// named results, and every var declaration or := definition in the body
+// whose type is syntactically evident. Shadowing inside nested blocks is
+// not modelled — mdflint is a heuristic linter, and the escape comment
+// covers the pathological cases.
+func newScope(m *Module, file *File, fn *ast.FuncDecl) *scope {
+	s := &scope{m: m, file: file, types: map[string]typeRef{}}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, n := range field.Names {
+				s.types[n.Name] = typeRef{expr: field.Type, file: file}
+			}
+		}
+	}
+	addFields(fn.Recv)
+	addFields(fn.Type.Params)
+	addFields(fn.Type.Results)
+	if fn.Body == nil {
+		return s
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := st.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					if vs.Type != nil {
+						s.types[name.Name] = typeRef{expr: vs.Type, file: file}
+					} else if i < len(vs.Values) {
+						s.set(name.Name, s.exprType(vs.Values[i]))
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if st.Tok != token.DEFINE {
+				return true
+			}
+			if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+				if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok {
+					if results, ok := s.m.callResults(call, s.file); ok && len(results) == len(st.Lhs) {
+						for i, lhs := range st.Lhs {
+							if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+								s.set(id.Name, results[i])
+							}
+						}
+					}
+				}
+				return true
+			}
+			if len(st.Rhs) == len(st.Lhs) {
+				for i, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						s.set(id.Name, s.exprType(st.Rhs[i]))
+					}
+				}
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// set records a type for name unless one is already known (the first
+// definition wins; reassignments do not change a variable's type).
+func (s *scope) set(name string, t typeRef) {
+	if !t.known() {
+		return
+	}
+	if _, ok := s.types[name]; !ok {
+		s.types[name] = t
+	}
+}
+
+// exprType resolves the type of an expression, best-effort.
+func (s *scope) exprType(e ast.Expr) typeRef {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if t, ok := s.types[v.Name]; ok {
+			return t
+		}
+		if t, ok := s.file.Pkg.vars[v.Name]; ok {
+			return t
+		}
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(v.X).(*ast.Ident); ok {
+			if path, isImport := s.file.Imports[x.Name]; isImport {
+				if pkg := s.m.pkgForImport(path); pkg != nil {
+					if t, ok := pkg.vars[v.Sel.Name]; ok {
+						return t
+					}
+				}
+				return typeRef{}
+			}
+		}
+		return s.m.fieldType(s.exprType(v.X), v.Sel.Name)
+	case *ast.CallExpr:
+		if results, ok := s.m.callResults(v, s.file); ok && len(results) > 0 {
+			return results[0]
+		}
+		return literalType(e, s.file)
+	case *ast.IndexExpr:
+		container := s.m.underlying(s.exprType(v.X))
+		if !container.known() {
+			return typeRef{}
+		}
+		switch c := ast.Unparen(container.expr).(type) {
+		case *ast.MapType:
+			return typeRef{expr: c.Value, file: container.file}
+		case *ast.ArrayType:
+			return typeRef{expr: c.Elt, file: container.file}
+		}
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return s.exprType(v.X)
+		}
+	default:
+		return literalType(e, s.file)
+	}
+	return typeRef{}
+}

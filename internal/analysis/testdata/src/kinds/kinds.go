@@ -1,0 +1,15 @@
+// Package kinds provides the cross-package types the maporder fixture
+// resolves through the module index.
+package kinds
+
+// Registry carries a map field behind a named struct type.
+type Registry struct {
+	Entries map[string]int
+}
+
+// Table is a named map type.
+type Table map[string]float64
+
+// NewTable returns a named map — callers ranging over the result are
+// ranging over a map.
+func NewTable() Table { return Table{} }

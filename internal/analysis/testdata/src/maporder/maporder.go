@@ -1,0 +1,147 @@
+// Package maporder is a maporder-rule fixture: order-dependent work inside
+// range-over-map, with and without the patterns that make it deterministic.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+
+	"fixture/kinds"
+)
+
+// CollectUnsorted appends in map-iteration order and never sorts — the
+// classic leak.
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want:maporder
+	}
+	return keys
+}
+
+// CollectSorted is the canonical collect-then-sort idiom — allowed.
+func CollectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectSortedOuter collects inside a conditional and sorts in the outer
+// block — still deterministic, still allowed.
+func CollectSortedOuter(m map[string]int, extra bool) []string {
+	var keys []string
+	if extra {
+		for k := range m {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectHelperSorted sorts through a helper whose name says so — allowed.
+func CollectHelperSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(keys []string) { sort.Strings(keys) }
+
+// Send leaks map order into a channel.
+func Send(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want:maporder
+	}
+}
+
+// SumFloats accumulates floats in map order; float addition is not
+// associative, so the total depends on the iteration order.
+func SumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want:maporder
+	}
+	return total
+}
+
+// SumInts accumulates integers — commutative and associative, allowed.
+func SumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Emit prints rows in map-iteration order.
+func Emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want:maporder
+	}
+}
+
+// CopyMap rebuilds a map from a map — order-independent, allowed.
+func CopyMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// OverSlice appends while ranging a slice — not a map, allowed.
+func OverSlice(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// StructField ranges over a map reached through a struct field of another
+// package, resolved via the module index.
+func StructField(r *kinds.Registry) []string {
+	var names []string
+	for k := range r.Entries {
+		names = append(names, k) // want:maporder
+	}
+	return names
+}
+
+// CallResult ranges over a named map type returned by a function.
+func CallResult() []string {
+	var names []string
+	for k := range kinds.NewTable() {
+		names = append(names, k) // want:maporder
+	}
+	return names
+}
+
+// LoopLocal appends to a slice created inside the loop body — invisible
+// outside one iteration, allowed.
+func LoopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var doubled []int
+		doubled = append(doubled, vs...)
+		n += len(doubled)
+	}
+	return n
+}
+
+// Allowed demonstrates the escape comment on an order-dependent append
+// whose consumer tolerates any order.
+func Allowed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //lint:allow maporder -- consumer deduplicates
+	}
+	return keys
+}

@@ -1,0 +1,14 @@
+package randuse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGlobalRandInTest shows that the seededrand rule covers _test.go files
+// too: an unseeded draw makes a failing case unreproducible.
+func TestGlobalRandInTest(t *testing.T) {
+	if rand.Intn(10) > 20 { // want:seededrand
+		t.Fatal("impossible")
+	}
+}

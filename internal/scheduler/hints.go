@@ -100,8 +100,18 @@ func probeRank(h float64, cands []*graph.Stage) float64 {
 // observations; ok is false when the normal equations are singular.
 func (m *modelHint) fitQuadratic() (a, b, c float64, ok bool) {
 	n := float64(len(m.scores))
+	// Accumulate over sorted hint values: float addition is not
+	// associative, so summing in map-iteration order would leak
+	// nondeterminism into the fitted coefficients and from there into the
+	// scheduler's branch order.
+	hints := make([]float64, 0, len(m.scores))
+	for h := range m.scores {
+		hints = append(hints, h)
+	}
+	sort.Float64s(hints)
 	var sh, sh2, sh3, sh4, sy, shy, sh2y float64
-	for h, y := range m.scores {
+	for _, h := range hints {
+		y := m.scores[h]
 		h2 := h * h
 		sh += h
 		sh2 += h2

@@ -114,13 +114,39 @@ func Histogram(xs []float64, lo, hi float64, bins int) []int {
 }
 
 // RNG wraps a seeded source of the random variates used by the synthetic
-// data generators. A nil RNG is not usable; construct with NewRNG.
+// data generators. A nil RNG is not usable; construct with NewRNG or
+// NewRNGFrom.
+//
+// RNG exists so that every draw in the repository is replayable from a
+// seed threaded through options: the top-level math/rand functions (the
+// process-global source) are forbidden in internal/ by the seededrand rule
+// of mdflint (see internal/analysis).
 type RNG struct {
 	r *rand.Rand
 }
 
 // NewRNG returns a deterministic generator for the given seed.
 func NewRNG(seed int64) *RNG { return &RNG{r: rand.New(rand.NewSource(seed))} }
+
+// NewRNGFrom wraps an explicitly seeded generator the caller already
+// threads, so one seed can feed several layers without re-deriving it.
+func NewRNGFrom(r *rand.Rand) *RNG {
+	if r == nil {
+		panic("stats: NewRNGFrom of nil *rand.Rand")
+	}
+	return &RNG{r: r}
+}
+
+// Derive returns an independent generator whose seed is a deterministic
+// function of g's next draw and the label, for giving each component of a
+// run (workload, fault plan, hint) its own replayable stream.
+func (g *RNG) Derive(label string) *RNG {
+	seed := g.r.Int63()
+	for _, c := range label {
+		seed = seed*1099511628211 + int64(c) // FNV-style fold, stays deterministic
+	}
+	return NewRNG(seed)
+}
 
 // Float64 returns a uniform variate in [0, 1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }

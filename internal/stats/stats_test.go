@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -85,6 +86,41 @@ func TestRNGDeterminism(t *testing.T) {
 	}
 	if same {
 		t.Fatal("different seeds gave identical streams")
+	}
+}
+
+func TestNewRNGFrom(t *testing.T) {
+	a := NewRNG(5)
+	b := NewRNGFrom(rand.New(rand.NewSource(5)))
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("NewRNGFrom with the same seed must give the same stream")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRNGFrom(nil) must panic")
+		}
+	}()
+	NewRNGFrom(nil)
+}
+
+func TestDerive(t *testing.T) {
+	a, b := NewRNG(5).Derive("faults"), NewRNG(5).Derive("faults")
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("Derive must be deterministic for the same seed and label")
+		}
+	}
+	x, y := NewRNG(5).Derive("faults"), NewRNG(5).Derive("workload")
+	same := true
+	for i := 0; i < 10; i++ {
+		if x.Float64() != y.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different labels gave identical streams")
 	}
 }
 
