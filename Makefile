@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race experiments-quick ci clean
+.PHONY: all build test vet lint race experiments-quick fuzz-short ci clean
 
 all: build
 
@@ -10,8 +10,9 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs mdflint, the repo's determinism static analyzer (see
-# ARCHITECTURE.md "Determinism rules"). It exits nonzero on any finding.
+# lint runs mdflint, the repo's determinism and unit-discipline static
+# analyzer (see ARCHITECTURE.md "Determinism rules" and "Unit types and
+# semantic rules"). It exits nonzero on any finding.
 lint:
 	$(GO) run ./cmd/mdflint ./...
 
@@ -27,6 +28,12 @@ experiments-quick: build
 	$(GO) run ./cmd/mdfbench -exp stragglers -quick -seeds 1 -csv
 	$(GO) run ./cmd/mdfbench -exp recovery -quick -seeds 1 -csv
 	$(GO) run ./cmd/mdfbench -exp reliability -quick -seeds 1 -csv
+
+# fuzz-short runs the JSON-parser fuzz targets briefly on top of their
+# checked-in corpora (testdata/fuzz); longer runs use -fuzztime directly.
+fuzz-short:
+	$(GO) test ./internal/spec -run='^$$' -fuzz=FuzzParse -fuzztime=5s
+	$(GO) test ./internal/faults -run='^$$' -fuzz=FuzzParse -fuzztime=5s
 
 # ci is the gate a change must pass before merging.
 ci: vet lint build race experiments-quick

@@ -21,6 +21,7 @@ import (
 	"metadataflow/internal/mdf"
 	"metadataflow/internal/memorymgr"
 	"metadataflow/internal/scheduler"
+	"metadataflow/internal/sim"
 	"metadataflow/internal/workload/synthetic"
 )
 
@@ -137,7 +138,7 @@ func BenchmarkAMMEviction(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Each Put of a 4 MB partition forces one eviction decision.
-		alloc.Put(dataset.PartKey{Dataset: dataset.ID(1000 + i), Index: 0}, 1<<22, float64(i))
+		alloc.Put(dataset.PartKey{Dataset: dataset.ID(1000 + i), Index: 0}, 1<<22, sim.VTime(i))
 	}
 }
 

@@ -1,22 +1,27 @@
-// Command mdflint runs the repo's determinism and simulator-discipline
-// static-analysis suite (internal/analysis): wallclock, seededrand,
-// maporder and droppederr. It prints one `file:line: [rule] message`
-// diagnostic per finding and exits nonzero when any survive, so `make ci`
-// can gate on it.
+// Command mdflint runs mdfvet, the repo's determinism and
+// simulator-discipline static-analysis suite (internal/analysis):
+// wallclock, seededrand, maporder, droppederr, unitsafety and leakcheck.
+// It prints one `file:line: [rule] message` diagnostic per finding and
+// exits nonzero when any survive, so `make ci` can gate on it.
 //
 // Usage:
 //
 //	mdflint ./...                  # whole module (the ci gate)
 //	mdflint ./internal/engine      # one subtree
 //	mdflint -rules maporder ./...  # a subset of rules
+//	mdflint -json ./...            # one JSON finding object per line
 //	mdflint -list                  # list the rules
+//
+// With -json each finding is one JSON object per line on stdout:
+// {"file":...,"line":...,"rule":...,"msg":...}. Exit codes are unchanged.
 //
 // Findings are suppressed with a `//lint:allow <rule>` comment on the
 // offending line or the line above it; see ARCHITECTURE.md, "Determinism
-// rules".
+// rules" and "Unit types and semantic rules".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,11 +33,12 @@ import (
 
 func main() {
 	var (
-		rules = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
-		list  = flag.Bool("list", false, "list the available rules and exit")
+		rules    = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		list     = flag.Bool("list", false, "list the available rules and exit")
+		jsonMode = flag.Bool("json", false, "emit findings as one JSON object per line")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mdflint [-rules r1,r2] [-list] [./... | dir ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: mdflint [-rules r1,r2] [-json] [-list] [./... | dir ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -79,12 +85,20 @@ func main() {
 	}
 
 	findings := analysis.Run(m, cfg)
+	enc := json.NewEncoder(os.Stdout)
 	n := 0
 	for _, f := range findings {
 		if !underAny(f.File, prefixes) {
 			continue
 		}
-		fmt.Println(f)
+		if *jsonMode {
+			if err := enc.Encode(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mdflint:", err)
+				os.Exit(2)
+			}
+		} else {
+			fmt.Println(f)
+		}
 		n++
 	}
 	if n > 0 {

@@ -24,6 +24,7 @@ import (
 	"metadataflow/internal/graph"
 	"metadataflow/internal/memorymgr"
 	"metadataflow/internal/scheduler"
+	"metadataflow/internal/sim"
 	"metadataflow/internal/spec"
 	"metadataflow/internal/workload/dnn"
 	"metadataflow/internal/workload/kde"
@@ -105,7 +106,7 @@ func run(job, specPath, sched, policy string, incremental bool, workers int, mem
 	}
 	ccfg := cluster.DefaultConfig()
 	ccfg.Workers = workers
-	ccfg.MemPerWorker = memGB << 30
+	ccfg.MemPerWorker = sim.Bytes(memGB) << 30
 	cl, err := cluster.New(ccfg)
 	if err != nil {
 		return err
@@ -163,7 +164,7 @@ func run(job, specPath, sched, policy string, incremental bool, workers int, mem
 		if err != nil {
 			return err
 		}
-		report(res.CompletionTime(), &res.Metrics, 1)
+		report(res.CompletionTime().Seconds(), &res.Metrics, 1)
 		if fplan != nil {
 			reportFaults(res)
 		}
@@ -205,7 +206,7 @@ func run(job, specPath, sched, policy string, incremental bool, workers int, mem
 		if err != nil {
 			return err
 		}
-		report(res.CompletionTime, &res.Metrics, len(res.Jobs))
+		report(res.CompletionTime.Seconds(), &res.Metrics, len(res.Jobs))
 	default:
 		var k int
 		if _, err := fmt.Sscanf(mode, "parallel:%d", &k); err != nil || k < 1 {
@@ -219,7 +220,7 @@ func run(job, specPath, sched, policy string, incremental bool, workers int, mem
 		if err != nil {
 			return err
 		}
-		report(res.CompletionTime, &res.Metrics, len(res.Jobs))
+		report(res.CompletionTime.Seconds(), &res.Metrics, len(res.Jobs))
 	}
 	return nil
 }

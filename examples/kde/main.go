@@ -137,7 +137,7 @@ func main() {
 	}
 	fmt.Printf("sequential jobs:   %.2f virtual seconds (%d jobs, %.0f%% slower)\n",
 		seq.CompletionTime, seq.Jobs,
-		100*(seq.CompletionTime-res.CompletionTime())/res.CompletionTime())
+		100*(seq.CompletionTime-res.CompletionTime().Seconds())/res.CompletionTime().Seconds())
 }
 
 func density(k kernel, h float64, sample []float64, x float64) float64 {

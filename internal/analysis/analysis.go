@@ -1,23 +1,36 @@
-// Package analysis implements mdflint, the repo's determinism and
-// simulator-discipline static-analysis suite. Every result the repo
-// reproduces depends on the discrete-event simulator replaying
-// bit-identically for a given seed, so the rules that keep it deterministic
+// Package analysis implements mdfvet, the repo's determinism and
+// simulator-discipline static-analysis suite (driven by the mdflint CLI).
+// Every result the repo reproduces depends on the discrete-event simulator
+// replaying bit-identically for a given seed, so the rules that keep it
+// deterministic — and the unit discipline that keeps its quantities honest —
 // are machine-checked instead of remembered:
 //
-//   - wallclock:  no time.Now/Since/Sleep/... inside the simulator packages;
-//     virtual time is the only clock.
-//   - seededrand: no top-level math/rand functions in internal/; randomness
+//   - wallclock:   no time.Now/Since/Sleep/... inside the simulator
+//     packages; virtual time is the only clock.
+//   - seededrand:  no top-level math/rand functions in internal/; randomness
 //     must come from an explicitly seeded *rand.Rand (stats.RNG).
-//   - maporder:   no order-dependent work (appends, channel sends, output
+//   - maporder:    no order-dependent work (appends, channel sends, output
 //     emission, float accumulation) inside `range` over a map unless the
 //     result is sorted afterwards.
-//   - droppederr: no `_`-discarded error results in non-test internal code.
+//   - droppederr:  no `_`-discarded error results in non-test internal code.
+//   - unitsafety:  simulator quantities carry their unit in the type —
+//     sim.VTime for virtual seconds, sim.Bytes for data volumes. Exported
+//     signatures must not smuggle them as plain float64/int64, and no
+//     expression may mix the two units except the cluster cost model, which
+//     is the one sanctioned bytes→seconds conversion.
+//   - leakcheck:   paired resource methods stay balanced per package: a
+//     package that calls Allocator.Put must also call Discard somewhere,
+//     and every Pin needs an Unpin.
 //
-// The suite is built only on go/parser, go/ast and go/token — no module
-// dependencies and no full type checker. Type questions ("is this a map?",
-// "is this result an error?") are answered best-effort from a syntactic
-// index of the whole module (see index.go); when the answer is unknown the
-// analyzers stay silent, so every finding is actionable.
+// The suite is built on the standard library toolchain only: go/parser for
+// syntax and go/types for semantics. The module under analysis is
+// type-checked in full (see typecheck.go) — module-internal imports resolve
+// against the parsed tree and standard-library imports compile from source —
+// so type questions ("is this a map?", "is this result an error?", "which
+// unit does this expression carry?") get real answers that survive
+// assignments, method calls and package boundaries. When type information is
+// unavailable (test files, packages that fail to check) the typed analyzers
+// stay silent, so every finding is actionable.
 //
 // A finding can be suppressed by a `//lint:allow <rule>` comment on the
 // offending line or the line directly above it, optionally followed by a
@@ -30,16 +43,17 @@ import (
 	"strings"
 )
 
-// Finding is one diagnostic produced by an analyzer.
+// Finding is one diagnostic produced by an analyzer. The JSON field names
+// are the stable machine-readable schema emitted by `mdflint -json`.
 type Finding struct {
 	// File is the file path relative to the module root, slash-separated.
-	File string
+	File string `json:"file"`
 	// Line is the 1-based source line.
-	Line int
+	Line int `json:"line"`
 	// Rule is the analyzer that produced the finding.
-	Rule string
+	Rule string `json:"rule"`
 	// Msg describes the violation and how to fix it.
-	Msg string
+	Msg string `json:"msg"`
 }
 
 // String renders the diagnostic in the conventional file:line form.
@@ -53,11 +67,13 @@ const (
 	RuleSeededRand = "seededrand"
 	RuleMapOrder   = "maporder"
 	RuleDroppedErr = "droppederr"
+	RuleUnitSafety = "unitsafety"
+	RuleLeakCheck  = "leakcheck"
 )
 
 // Rules lists every rule the suite implements.
 func Rules() []string {
-	return []string{RuleWallclock, RuleSeededRand, RuleMapOrder, RuleDroppedErr}
+	return []string{RuleWallclock, RuleSeededRand, RuleMapOrder, RuleDroppedErr, RuleUnitSafety, RuleLeakCheck}
 }
 
 // RuleScope says where one rule applies.
@@ -89,6 +105,17 @@ type Config struct {
 	SeededRand RuleScope
 	MapOrder   RuleScope
 	DroppedErr RuleScope
+	UnitSafety RuleScope
+	LeakCheck  RuleScope
+
+	// UnitExemptDirs are directories (same prefix semantics as RuleScope)
+	// where cross-unit arithmetic and conversions are sanctioned: the
+	// cluster cost model converts bytes into seconds by design. The naming
+	// sub-check of unitsafety still applies there.
+	UnitExemptDirs []string
+	// LeakPairs are the acquire/release method pairs that leakcheck keeps
+	// balanced per package.
+	LeakPairs []LeakPair
 
 	// WallclockFuncs are the forbidden package-level time functions.
 	WallclockFuncs []string
@@ -122,6 +149,22 @@ func DefaultConfig() Config {
 		SeededRand: RuleScope{Dirs: []string{"internal"}, IncludeTests: true},
 		MapOrder:   RuleScope{Dirs: []string{"internal"}},
 		DroppedErr: RuleScope{Dirs: []string{"internal"}},
+		UnitSafety: RuleScope{Dirs: []string{
+			"internal/sim",
+			"internal/cluster",
+			"internal/engine",
+			"internal/memorymgr",
+			"internal/scheduler",
+			"internal/stats",
+			"internal/baseline",
+		}},
+		LeakCheck: RuleScope{Dirs: []string{"internal"}},
+
+		UnitExemptDirs: []string{"internal/cluster"},
+		LeakPairs: []LeakPair{
+			{Acquire: "Put", Release: "Discard"},
+			{Acquire: "Pin", Release: "Unpin"},
+		},
 
 		WallclockFuncs: []string{
 			"Now", "Since", "Until", "Sleep", "After", "AfterFunc",
@@ -169,6 +212,12 @@ func Run(m *Module, cfg Config) []Finding {
 			if cfg.ruleEnabled(RuleDroppedErr) && cfg.DroppedErr.applies(f.Path, f.IsTest) {
 				all = append(all, checkDroppedErr(m, f)...)
 			}
+			if cfg.ruleEnabled(RuleUnitSafety) && cfg.UnitSafety.applies(f.Path, f.IsTest) {
+				all = append(all, checkUnitSafety(f, cfg)...)
+			}
+		}
+		if cfg.ruleEnabled(RuleLeakCheck) {
+			all = append(all, checkLeakCheck(pkg, cfg)...)
 		}
 	}
 	var kept []Finding

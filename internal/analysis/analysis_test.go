@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -19,6 +20,9 @@ func fixtureConfig() Config {
 	cfg.SeededRand = RuleScope{Dirs: []string{"randuse"}, IncludeTests: true}
 	cfg.MapOrder = RuleScope{Dirs: []string{"maporder"}}
 	cfg.DroppedErr = RuleScope{Dirs: []string{"droppederr"}}
+	cfg.UnitSafety = RuleScope{Dirs: []string{"unitsafety"}}
+	cfg.UnitExemptDirs = []string{"unitsafety/costmodel"}
+	cfg.LeakCheck = RuleScope{Dirs: []string{"leakcheck"}}
 	return cfg
 }
 
@@ -150,6 +154,20 @@ func TestFindingString(t *testing.T) {
 	want := "internal/engine/exec.go:42: [maporder] boom"
 	if f.String() != want {
 		t.Fatalf("String() = %q, want %q", f.String(), want)
+	}
+}
+
+// TestFindingJSON pins the machine-readable schema `mdflint -json` emits:
+// one object per finding with exactly these field names.
+func TestFindingJSON(t *testing.T) {
+	f := Finding{File: "internal/engine/exec.go", Line: 42, Rule: RuleUnitSafety, Msg: "boom"}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"file":"internal/engine/exec.go","line":42,"rule":"unitsafety","msg":"boom"}`
+	if string(data) != want {
+		t.Fatalf("Marshal = %s, want %s", data, want)
 	}
 }
 

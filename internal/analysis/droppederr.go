@@ -6,13 +6,16 @@ import (
 	"go/ast"
 	"go/printer"
 	"go/token"
+	"go/types"
 )
 
 // checkDroppedErr flags error results assigned to the blank identifier.
 // A silently dropped error hides exactly the failures the resilience layer
-// is supposed to surface; callers must handle, return or log them. Only
-// calls whose signature the index can resolve are flagged, so every finding
-// points at a value that really is an error.
+// is supposed to surface; callers must handle, return or log them. Result
+// types come from go/types, so the check resolves methods, cross-package
+// calls and function values alike; calls without type information (test
+// files, unresolved packages) are skipped, so every finding points at a
+// value that really is an error.
 func checkDroppedErr(m *Module, f *File) []Finding {
 	var out []Finding
 	ast.Inspect(f.AST, func(n ast.Node) bool {
@@ -34,7 +37,7 @@ func checkDroppedErr(m *Module, f *File) []Finding {
 			if !ok {
 				return true
 			}
-			results, resolved := m.callResults(call, f)
+			results, resolved := callResults(f, call)
 			if !resolved || len(results) != len(st.Lhs) {
 				return true
 			}
@@ -56,7 +59,7 @@ func checkDroppedErr(m *Module, f *File) []Finding {
 				if !ok {
 					continue
 				}
-				results, resolved := m.callResults(call, f)
+				results, resolved := callResults(f, call)
 				if resolved && len(results) == 1 && isErrorType(results[0]) {
 					flag(call)
 				}
@@ -70,6 +73,23 @@ func checkDroppedErr(m *Module, f *File) []Finding {
 func isBlank(e ast.Expr) bool {
 	id, ok := e.(*ast.Ident)
 	return ok && id.Name == "_"
+}
+
+// callResults returns the resolved result types of a call expression. The
+// second return is false when no type information is available for it.
+func callResults(f *File, call *ast.CallExpr) ([]types.Type, bool) {
+	t := f.TypeOf(call)
+	if t == nil {
+		return nil, false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		out := make([]types.Type, tup.Len())
+		for i := range out {
+			out[i] = tup.At(i).Type()
+		}
+		return out, true
+	}
+	return []types.Type{t}, true
 }
 
 // calleeLabel renders the call target for the diagnostic.

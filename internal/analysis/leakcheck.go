@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// LeakPair names an acquire method and the release method that must balance
+// it somewhere in the same package.
+type LeakPair struct {
+	Acquire string
+	Release string
+}
+
+// checkLeakCheck enforces acquire/release balance for paired resource
+// methods (Allocator.Put/Discard, Pin/Unpin). The granularity is the
+// package: a package that acquires through a method pair's acquire side must
+// release through its release side at least once, otherwise every acquire
+// site is reported. This deliberately does not attempt path-sensitive
+// matching — the engine releases on code paths far from the acquire — but it
+// catches the bug class that actually happened: a package that pins
+// partitions and never unpins any, leaving memory unevictable forever.
+//
+// Matching is type-accurate via go/types method selections: only calls of
+// methods declared on a named type from another package count, and the
+// receiver type must declare both sides of the pair. The declaring package
+// itself is exempt (the allocator's own tests and helpers legitimately call
+// Put without Discard).
+func checkLeakCheck(pkg *Package, cfg Config) []Finding {
+	if pkg.Info == nil || pkg.TypesPkg == nil {
+		return nil
+	}
+	type key struct {
+		pair int
+		typ  string
+	}
+	acquires := map[key][]Finding{}
+	released := map[key]bool{}
+	for _, f := range pkg.Files {
+		if !cfg.LeakCheck.applies(f.Path, f.IsTest) {
+			continue
+		}
+		path := f.Path
+		lineOf := f.line
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := pkg.Info.Selections[sel]
+			if selection == nil || selection.Kind() != types.MethodVal {
+				return true
+			}
+			named := namedRecv(selection.Recv())
+			if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg() == pkg.TypesPkg {
+				return true
+			}
+			tname := named.Obj().Pkg().Name() + "." + named.Obj().Name()
+			for i, pair := range cfg.LeakPairs {
+				switch sel.Sel.Name {
+				case pair.Acquire:
+					if hasMethod(named, pair.Release) {
+						k := key{i, tname}
+						acquires[k] = append(acquires[k], Finding{
+							File: path, Line: lineOf(call.Pos()), Rule: RuleLeakCheck,
+							Msg: fmt.Sprintf("%s.%s acquired here is never released: no %s call on %s anywhere in this package", tname, pair.Acquire, pair.Release, tname),
+						})
+					}
+				case pair.Release:
+					released[key{i, tname}] = true
+				}
+			}
+			return true
+		})
+	}
+	var out []Finding
+	for k, sites := range acquires {
+		if !released[k] {
+			out = append(out, sites...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// namedRecv unwraps a selection receiver to its named type, dereferencing
+// one level of pointer.
+func namedRecv(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// hasMethod reports whether the named type's (pointer) method set declares
+// a method with the given name.
+func hasMethod(named *types.Named, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), name)
+	_, ok := obj.(*types.Func)
+	return ok
+}

@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -49,11 +50,14 @@ type Package struct {
 	// Files are the parsed sources, sorted by path.
 	Files []*File
 
-	// Syntactic declaration index, populated by buildIndex.
-	funcs   map[string]*funcInfo
-	methods map[string][]*funcInfo
-	types   map[string]*typeInfo
-	vars    map[string]typeRef
+	// TypesPkg and Info hold the go/types resolution of the package's
+	// non-test files, populated by typeCheck. Info may be partially filled
+	// when the check hit errors; TypeErrs then records why.
+	TypesPkg *types.Package
+	Info     *types.Info
+	TypeErrs []error
+
+	typesChecked bool
 }
 
 // Module is a parsed source tree.
@@ -65,6 +69,7 @@ type Module struct {
 	// Packages are the parsed packages sorted by directory.
 	Packages []*Package
 
+	fset         *token.FileSet
 	byImportPath map[string]*Package
 }
 
@@ -85,6 +90,7 @@ func Load(root string) (*Module, error) {
 
 	byDir := map[string]*Package{}
 	fset := token.NewFileSet()
+	m.fset = fset
 	walkErr := filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -148,7 +154,7 @@ func Load(root string) (*Module, error) {
 		m.Packages = append(m.Packages, pkg)
 	}
 	sort.Slice(m.Packages, func(i, j int) bool { return m.Packages[i].Dir < m.Packages[j].Dir })
-	m.buildIndex()
+	m.typeCheck()
 	return m, nil
 }
 

@@ -29,9 +29,8 @@ func checkMapOrder(m *Module, f *File, cfg Config) []Finding {
 		if !ok || fn.Body == nil {
 			continue
 		}
-		sc := newScope(m, f, fn)
 		walkStmts(fn.Body.List, nil, func(rs *ast.RangeStmt, following []ast.Stmt) {
-			out = append(out, checkOneRange(m, f, sc, rs, following, emit)...)
+			out = append(out, checkOneRange(f, rs, following, emit)...)
 		})
 	}
 	return out
@@ -108,8 +107,8 @@ func childStmtLists(stmt ast.Stmt) [][]ast.Stmt {
 // checkOneRange analyses a single range statement; following are the
 // statements after it in the same block, searched for the sort that
 // legitimises collected appends.
-func checkOneRange(m *Module, f *File, sc *scope, rs *ast.RangeStmt, following []ast.Stmt, emit map[string]bool) []Finding {
-	if !m.isMapType(sc.exprType(rs.X)) {
+func checkOneRange(f *File, rs *ast.RangeStmt, following []ast.Stmt, emit map[string]bool) []Finding {
+	if !isMapExpr(f, rs.X) {
 		return nil
 	}
 	local := localNames(rs)
@@ -150,7 +149,7 @@ func checkOneRange(m *Module, f *File, sc *scope, rs *ast.RangeStmt, following [
 				if !ok || local[base] {
 					return true
 				}
-				if m.isFloatType(sc.exprType(lhs)) {
+				if isFloatExpr(f, lhs) {
 					add(st.Pos(), fmt.Sprintf("accumulates floating-point values into %q in map-iteration order (float addition is not associative); iterate over sorted keys", base))
 				}
 			}

@@ -1,0 +1,9 @@
+// Package allowed demonstrates the escape comment for leakcheck.
+package allowed
+
+import "fixture/leakcheck/pool"
+
+// Stash intentionally hands the buffer to its caller for release.
+func Stash(b *pool.Buf) {
+	b.Put(1) //lint:allow leakcheck -- the caller releases
+}

@@ -1,0 +1,17 @@
+// Package leakcheck is the unbalanced fixture: it acquires through both
+// method pairs and never releases either, so every acquire site is
+// reported.
+package leakcheck
+
+import "fixture/leakcheck/pool"
+
+// Leak fills and pins without ever releasing.
+func Leak(b *pool.Buf) {
+	b.Put(1) // want:leakcheck
+	b.Pin(1) // want:leakcheck
+}
+
+// LeakAgain shows every acquire site is reported, not just the first.
+func LeakAgain(b *pool.Buf) {
+	b.Put(2) // want:leakcheck
+}

@@ -1,0 +1,18 @@
+// Package pool declares the paired-resource type the leakcheck fixtures
+// acquire from. The declaring package itself is exempt from the rule.
+package pool
+
+// Buf is a resource with two acquire/release method pairs.
+type Buf struct{ n int }
+
+// Put acquires a slot; Discard releases it.
+func (b *Buf) Put(k int)     { b.n++ }
+func (b *Buf) Discard(k int) { b.n-- }
+
+// Pin protects a slot from eviction; Unpin lifts the protection.
+func (b *Buf) Pin(k int)   { b.n++ }
+func (b *Buf) Unpin(k int) { b.n-- }
+
+// Fill calls Put with no Discard anywhere: legal in the declaring package,
+// whose helpers and tests manage the resource directly.
+func Fill(b *Buf) { b.Put(1) }

@@ -1,0 +1,18 @@
+package sim
+
+// VTime and Bytes mirror the simulator's unit types so the unitsafety
+// fixtures resolve them exactly like the real internal/sim package: the
+// rule recognises units by named type, not by import path.
+
+// VTime is a quantity of virtual seconds.
+type VTime float64
+
+// Seconds returns the raw magnitude.
+func (t VTime) Seconds() float64 { return float64(t) }
+
+// Bytes is a quantity of data volume.
+type Bytes int64
+
+// MB returns the dimensionless magnitude in megabytes; as a method call it
+// is a unit boundary for the unitsafety rule.
+func (b Bytes) MB() float64 { return float64(b) / 1e6 }

@@ -1,0 +1,17 @@
+// Package costmodel is the sanctioned conversion fixture: it sits in
+// UnitExemptDirs, so the mixing and conversion sub-checks stay silent here
+// while the naming sub-check still applies.
+package costmodel
+
+import "fixture/sim"
+
+// NetSec models a transfer cost: dividing bytes by bandwidth is exactly
+// what the exemption exists for, so there is no finding on this line.
+func NetSec(b sim.Bytes, bw float64) sim.VTime {
+	return sim.VTime(float64(b) / bw)
+}
+
+// Delay shows the naming sub-check survives the exemption.
+func Delay(startSec float64) sim.VTime { // want:unitsafety
+	return sim.VTime(startSec)
+}

@@ -1,0 +1,58 @@
+// Package unitsafety is the unit-discipline fixture: exported signatures
+// that smuggle units as raw numbers, arithmetic that mixes the two units,
+// and conversions that cross from one unit to the other.
+package unitsafety
+
+import "fixture/sim"
+
+// Event smuggles unit quantities as raw numbers in exported fields.
+type Event struct {
+	StartTime  float64 // want:unitsafety
+	SpillBytes int64   // want:unitsafety
+	Label      string
+	Count      int64 // unsuspicious name: not flagged
+}
+
+// Typed carries its units properly and is never flagged.
+type Typed struct {
+	Start sim.VTime
+	Spill sim.Bytes
+}
+
+// Schedule announces units in parameter and result names but declares raw
+// types.
+func Schedule(
+	durSec float64, // want:unitsafety
+	capacity int64, // want:unitsafety
+) (elapsed float64) { // want:unitsafety
+	// Raw numbers carry no unit, so this product is not a mixing violation:
+	// the damage happened in the signature above.
+	return durSec * float64(capacity)
+}
+
+// Throughput mixes the two unit types in one expression; laundering them
+// through float64 conversions does not hide the units.
+func Throughput(d sim.VTime, b sim.Bytes) float64 {
+	bad := float64(d) * float64(b) // want:unitsafety
+	_ = bad
+	// Method calls are unit boundaries: MB() and Seconds() yield plain
+	// magnitudes, so this division is legal.
+	return b.MB() / d.Seconds()
+}
+
+// Transfer converts a bytes-carrying expression into virtual time outside
+// the cost model.
+func Transfer(b sim.Bytes, bw float64) sim.VTime {
+	return sim.VTime(float64(b) / bw) // want:unitsafety
+}
+
+// Scale stays within one unit: a conversion that carries the same unit in
+// and out is legal.
+func Scale(d sim.VTime, f float64) sim.VTime {
+	return sim.VTime(float64(d) * f)
+}
+
+// Allowed demonstrates the escape comment.
+func Allowed(b sim.Bytes, bw float64) sim.VTime {
+	return sim.VTime(float64(b) / bw) //lint:allow unitsafety -- ad-hoc probe
+}

@@ -1,0 +1,141 @@
+package analysis
+
+// This file is mdfvet's semantic core: it type-checks the loaded module
+// with the standard library's go/types, replacing the former syntactic
+// cross-package index (index.go). Rules that ask type questions — "is this
+// a map?", "is this result an error?", "does this expression carry a unit?"
+// — now get real answers that survive assignments, cross-package calls and
+// method sets, instead of best-effort name matching.
+//
+// Resolution strategy:
+//
+//   - Packages inside the module are type-checked from their parsed ASTs,
+//     recursively on demand when one imports another.
+//   - Standard-library imports are compiled from $GOROOT/src by the
+//     go/importer "source" importer, so the analyzer needs no pre-built
+//     export data and no module dependencies.
+//   - Only non-test files are checked: no typed rule includes tests by
+//     default, and test files of a package simply yield no type info (the
+//     typed analyzers stay silent there, keeping findings actionable).
+//
+// Type-check errors do not abort the run: the Error callback collects them
+// on the package and checking continues, so one broken package degrades to
+// the old silent-on-unknown behaviour instead of blocking the whole lint.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/types"
+)
+
+// typeCheck resolves types for every package of the module.
+func (m *Module) typeCheck() {
+	imp := &moduleImporter{
+		m:        m,
+		fallback: importer.ForCompiler(m.fset, "source", nil),
+		checking: map[string]bool{},
+	}
+	for _, pkg := range m.Packages {
+		imp.check(pkg)
+	}
+}
+
+// moduleImporter resolves import paths against the module's own packages
+// first and falls back to compiling the standard library from source.
+type moduleImporter struct {
+	m        *Module
+	fallback types.Importer
+	// checking guards against import cycles while a package is mid-check.
+	checking map[string]bool
+}
+
+// Import implements types.Importer.
+func (imp *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg := imp.m.byImportPath[path]; pkg != nil {
+		if tp := imp.check(pkg); tp != nil {
+			return tp, nil
+		}
+		return nil, fmt.Errorf("analysis: cannot type-check module package %q", path)
+	}
+	return imp.fallback.Import(path)
+}
+
+// check type-checks one package (once), memoising the result on it.
+func (imp *moduleImporter) check(pkg *Package) *types.Package {
+	if pkg.typesChecked {
+		return pkg.TypesPkg
+	}
+	if imp.checking[pkg.ImportPath] {
+		return nil // import cycle; the compiler rejects these anyway
+	}
+	imp.checking[pkg.ImportPath] = true
+	defer delete(imp.checking, pkg.ImportPath)
+
+	var files []*ast.File
+	for _, f := range pkg.Files {
+		if !f.IsTest {
+			files = append(files, f.AST)
+		}
+	}
+	pkg.typesChecked = true
+	if len(files) == 0 {
+		return nil
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			pkg.TypeErrs = append(pkg.TypeErrs, err)
+		},
+	}
+	// Check's error only repeats the first error already delivered to the
+	// Error callback; the aggregate lives in pkg.TypeErrs.
+	tpkg, _ := conf.Check(pkg.ImportPath, imp.m.fset, files, info) //lint:allow droppederr
+	pkg.TypesPkg = tpkg
+	pkg.Info = info
+	return tpkg
+}
+
+// TypeOf returns the type of e from the owning package's resolved type
+// info, or nil when the file carries no type information (test files,
+// packages whose check failed on this expression). Typed rules treat nil
+// as "unknown — stay silent".
+func (f *File) TypeOf(e ast.Expr) types.Type {
+	if f.Pkg == nil || f.Pkg.Info == nil {
+		return nil
+	}
+	return f.Pkg.Info.TypeOf(e)
+}
+
+// errorType is the universe's predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is exactly the predeclared error type.
+func isErrorType(t types.Type) bool { return t != nil && types.Identical(t, errorType) }
+
+// isMapExpr reports whether e's resolved type is a map.
+func isMapExpr(f *File, e ast.Expr) bool {
+	t := f.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isFloatExpr reports whether e's resolved type has a floating-point
+// representation (including named unit types such as sim.VTime).
+func isFloatExpr(f *File, e ast.Expr) bool {
+	t := f.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -8,6 +8,7 @@ import (
 	"metadataflow/internal/graph"
 	"metadataflow/internal/memorymgr"
 	"metadataflow/internal/scheduler"
+	"metadataflow/internal/sim"
 )
 
 // Config describes how a family of jobs is executed.
@@ -17,7 +18,7 @@ type Config struct {
 	// MemPerWorker is the total per-worker memory budget; parallel
 	// execution splits it equally among concurrent jobs (§6.1). 0 uses the
 	// cluster's configured budget.
-	MemPerWorker int64
+	MemPerWorker sim.Bytes
 	// Policy is the eviction policy used by every job.
 	Policy memorymgr.PolicyKind
 	// NewScheduler builds a fresh scheduling policy per job; nil defaults
@@ -31,7 +32,7 @@ type Config struct {
 	PinReused bool
 }
 
-func (c Config) engineOptions(memShare int64) engine.Options {
+func (c Config) engineOptions(memShare sim.Bytes) engine.Options {
 	sched := scheduler.BFS()
 	if c.NewScheduler != nil {
 		sched = c.NewScheduler()
@@ -46,7 +47,7 @@ func (c Config) engineOptions(memShare int64) engine.Options {
 	}
 }
 
-func (c Config) totalMem() int64 {
+func (c Config) totalMem() sim.Bytes {
 	if c.MemPerWorker > 0 {
 		return c.MemPerWorker
 	}
@@ -57,7 +58,7 @@ func (c Config) totalMem() int64 {
 type MultiResult struct {
 	// CompletionTime is the virtual time from the first submission to the
 	// last job completion.
-	CompletionTime float64
+	CompletionTime sim.VTime
 	// Jobs holds the per-job results in submission order.
 	Jobs []*engine.Result
 	// Metrics merges the per-job metrics.
@@ -89,7 +90,7 @@ func Sequential(jobs []*graph.Graph, cfg Config) (*MultiResult, error) {
 		return nil, fmt.Errorf("baseline: no jobs")
 	}
 	out := &MultiResult{}
-	t := 0.0
+	t := sim.VTime(0)
 	for i, g := range jobs {
 		plan, err := graph.BuildPlan(g)
 		if err != nil {
@@ -120,7 +121,7 @@ func Parallel(jobs []*graph.Graph, k int, cfg Config) (*MultiResult, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("baseline: parallelism must be >= 1, got %d", k)
 	}
-	memShare := cfg.totalMem() / int64(k)
+	memShare := cfg.totalMem() / sim.Bytes(k)
 	if memShare < 1 {
 		memShare = 1
 	}
@@ -128,7 +129,7 @@ func Parallel(jobs []*graph.Graph, k int, cfg Config) (*MultiResult, error) {
 	next := 0
 	active := make([]*engine.Run, 0, k)
 
-	admit := func(start float64) error {
+	admit := func(start sim.VTime) error {
 		for len(active) < k && next < len(jobs) {
 			plan, err := graph.BuildPlan(jobs[next])
 			if err != nil {

@@ -8,14 +8,18 @@
 // §6.1 without wall-clock measurement noise.
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+
+	"metadataflow/internal/sim"
+)
 
 // Config describes the simulated hardware.
 type Config struct {
 	// Workers is the number of worker nodes (the paper uses up to 12).
 	Workers int
-	// MemPerWorker is each worker's dataset memory budget in bytes.
-	MemPerWorker int64
+	// MemPerWorker is each worker's dataset memory budget.
+	MemPerWorker sim.Bytes
 	// DiskReadBW and DiskWriteBW are disk bandwidths in bytes/second.
 	DiskReadBW  float64
 	DiskWriteBW float64
@@ -77,20 +81,35 @@ func (c Config) Alpha() float64 {
 	return (wd * rm) / (wm * rd)
 }
 
-// DiskReadSec returns the virtual seconds to read bytes from disk.
-func (c Config) DiskReadSec(bytes int64) float64 { return float64(bytes) / c.DiskReadBW }
+// The XxxSec methods below are the cost model proper: the only sanctioned
+// place where a byte count becomes virtual time (division by a bandwidth).
+// The unitsafety rule in internal/analysis exempts this package and flags
+// equivalent open-coded conversions anywhere else in the simulator.
 
-// DiskWriteSec returns the virtual seconds to write bytes to disk.
-func (c Config) DiskWriteSec(bytes int64) float64 { return float64(bytes) / c.DiskWriteBW }
+// DiskReadSec returns the virtual time to read bytes from disk.
+func (c Config) DiskReadSec(bytes sim.Bytes) sim.VTime {
+	return sim.VTime(float64(bytes) / c.DiskReadBW)
+}
 
-// MemReadSec returns the virtual seconds to read bytes from memory.
-func (c Config) MemReadSec(bytes int64) float64 { return float64(bytes) / c.MemReadBW }
+// DiskWriteSec returns the virtual time to write bytes to disk.
+func (c Config) DiskWriteSec(bytes sim.Bytes) sim.VTime {
+	return sim.VTime(float64(bytes) / c.DiskWriteBW)
+}
 
-// MemWriteSec returns the virtual seconds to write bytes to memory.
-func (c Config) MemWriteSec(bytes int64) float64 { return float64(bytes) / c.MemWriteBW }
+// MemReadSec returns the virtual time to read bytes from memory.
+func (c Config) MemReadSec(bytes sim.Bytes) sim.VTime {
+	return sim.VTime(float64(bytes) / c.MemReadBW)
+}
 
-// NetSec returns the virtual seconds to move bytes over one node's link.
-func (c Config) NetSec(bytes int64) float64 { return float64(bytes) / c.NetBW }
+// MemWriteSec returns the virtual time to write bytes to memory.
+func (c Config) MemWriteSec(bytes sim.Bytes) sim.VTime {
+	return sim.VTime(float64(bytes) / c.MemWriteBW)
+}
+
+// NetSec returns the virtual time to move bytes over one node's link.
+func (c Config) NetSec(bytes sim.Bytes) sim.VTime {
+	return sim.VTime(float64(bytes) / c.NetBW)
+}
 
 // Node is a simulated worker with three serial resources: a CPU, a disk and
 // a network link. Requests on a resource are served in arrival order.
@@ -109,12 +128,12 @@ type Node struct {
 	// dead marks a permanently failed node; cleared by Reset.
 	dead bool
 
-	cpuFree  float64
-	diskFree float64
-	netFree  float64
+	cpuFree  sim.VTime
+	diskFree sim.VTime
+	netFree  sim.VTime
 }
 
-func (n *Node) scale(dur float64) float64 {
+func (n *Node) scale(dur sim.VTime) sim.VTime {
 	f := 1.0
 	if n.SlowFactor > 0 {
 		f = n.SlowFactor
@@ -122,14 +141,14 @@ func (n *Node) scale(dur float64) float64 {
 	if n.faultSlow > 0 {
 		f *= n.faultSlow
 	}
-	return dur * f
+	return sim.VTime(float64(dur) * f)
 }
 
 // EffectiveSlowFactor returns the combined duration multiplier currently in
 // force on the node: the user-set SlowFactor composed with any transient
 // fault-injected slowdown. Speculative straggler mitigation rebalances
 // compute by its inverse.
-func (n *Node) EffectiveSlowFactor() float64 { return n.scale(1) }
+func (n *Node) EffectiveSlowFactor() float64 { return n.scale(1).Seconds() }
 
 // SetFaultFactors installs the transient fault-injected multipliers for the
 // current virtual time; values <= 0 or exactly 1 mean "none".
@@ -170,7 +189,7 @@ func (n *Node) Alive() bool { return !n.dead }
 
 // CPU occupies the node's CPU for dur virtual seconds starting no earlier
 // than ready, returning the finish time.
-func (n *Node) CPU(ready, dur float64) float64 {
+func (n *Node) CPU(ready, dur sim.VTime) sim.VTime {
 	start := max(ready, n.cpuFree)
 	n.cpuFree = start + n.scale(dur)
 	return n.cpuFree
@@ -179,11 +198,11 @@ func (n *Node) CPU(ready, dur float64) float64 {
 // Disk occupies the node's disk for dur virtual seconds starting no earlier
 // than ready, returning the finish time. A fault-injected disk-bandwidth
 // degradation stretches the duration on top of the node's slow factor.
-func (n *Node) Disk(ready, dur float64) float64 {
+func (n *Node) Disk(ready, dur sim.VTime) sim.VTime {
 	start := max(ready, n.diskFree)
 	d := n.scale(dur)
 	if n.faultDisk > 0 {
-		d *= n.faultDisk
+		d = sim.VTime(float64(d) * n.faultDisk)
 	}
 	n.diskFree = start + d
 	return n.diskFree
@@ -191,7 +210,7 @@ func (n *Node) Disk(ready, dur float64) float64 {
 
 // Net occupies the node's network link for dur virtual seconds starting no
 // earlier than ready, returning the finish time.
-func (n *Node) Net(ready, dur float64) float64 {
+func (n *Node) Net(ready, dur sim.VTime) sim.VTime {
 	start := max(ready, n.netFree)
 	n.netFree = start + n.scale(dur)
 	return n.netFree
@@ -199,7 +218,7 @@ func (n *Node) Net(ready, dur float64) float64 {
 
 // FreeAt returns the times at which the node's CPU, disk and network link
 // become free.
-func (n *Node) FreeAt() (cpu, disk, net float64) { return n.cpuFree, n.diskFree, n.netFree }
+func (n *Node) FreeAt() (cpu, disk, net sim.VTime) { return n.cpuFree, n.diskFree, n.netFree }
 
 // Cluster is a set of simulated worker nodes sharing a configuration.
 type Cluster struct {
@@ -293,8 +312,8 @@ func (c *Cluster) LiveIndices() []int {
 
 // Now returns the maximum resource-free time across the cluster: the virtual
 // time at which everything submitted so far has finished.
-func (c *Cluster) Now() float64 {
-	var t float64
+func (c *Cluster) Now() sim.VTime {
+	var t sim.VTime
 	for _, n := range c.Nodes {
 		t = max(t, n.cpuFree, n.diskFree, n.netFree)
 	}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"math"
+	"metadataflow/internal/sim"
 	"testing"
 	"testing/quick"
 )
@@ -46,7 +47,7 @@ func TestAlphaDefinition(t *testing.T) {
 
 func TestCostHelpers(t *testing.T) {
 	cfg := DefaultConfig()
-	if got := cfg.DiskReadSec(int64(cfg.DiskReadBW)); math.Abs(got-1) > 1e-9 {
+	if got := cfg.DiskReadSec(sim.Bytes(cfg.DiskReadBW)); math.Abs(got.Seconds()-1) > 1e-9 {
 		t.Errorf("DiskReadSec(one second of bytes) = %v, want 1", got)
 	}
 	if cfg.MemReadSec(1<<20) >= cfg.DiskReadSec(1<<20) {
@@ -127,13 +128,13 @@ func TestNewRejectsInvalid(t *testing.T) {
 func TestNodeMonotonicityProperty(t *testing.T) {
 	f := func(durs []uint16, readies []uint16) bool {
 		n := &Node{}
-		prevEnd := 0.0
+		prevEnd := sim.VTime(0)
 		for i, d := range durs {
-			ready := 0.0
+			ready := sim.VTime(0)
 			if i < len(readies) {
-				ready = float64(readies[i]) / 16
+				ready = sim.VTime(readies[i]) / 16
 			}
-			dur := float64(d) / 256
+			dur := sim.VTime(d) / 256
 			end := n.CPU(ready, dur)
 			if end < ready+dur-1e-9 {
 				return false
@@ -163,7 +164,7 @@ func TestNetResourceIndependent(t *testing.T) {
 
 func TestNetSec(t *testing.T) {
 	cfg := DefaultConfig()
-	if got := cfg.NetSec(int64(cfg.NetBW)); math.Abs(got-1) > 1e-9 {
+	if got := cfg.NetSec(sim.Bytes(cfg.NetBW)); math.Abs(got.Seconds()-1) > 1e-9 {
 		t.Fatalf("NetSec(one second of bytes) = %v, want 1", got)
 	}
 }

@@ -1,0 +1,111 @@
+package cluster_test
+
+// Edge cases of the cost model: validation must reject degenerate
+// bandwidths (a zero bandwidth would turn every transfer into an infinite
+// or NaN virtual duration), zero-byte transfers must cost exactly zero
+// virtual time, and scaling compute up must never make a job finish
+// earlier.
+
+import (
+	"testing"
+
+	"metadataflow/internal/cluster"
+	"metadataflow/internal/dataset"
+	"metadataflow/internal/engine"
+	"metadataflow/internal/mdf"
+	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/scheduler"
+	"metadataflow/internal/sim"
+)
+
+func TestValidateRejectsNonPositiveBandwidths(t *testing.T) {
+	mutations := []struct {
+		name string
+		set  func(*cluster.Config, float64)
+	}{
+		{"DiskReadBW", func(c *cluster.Config, v float64) { c.DiskReadBW = v }},
+		{"DiskWriteBW", func(c *cluster.Config, v float64) { c.DiskWriteBW = v }},
+		{"MemReadBW", func(c *cluster.Config, v float64) { c.MemReadBW = v }},
+		{"MemWriteBW", func(c *cluster.Config, v float64) { c.MemWriteBW = v }},
+		{"NetBW", func(c *cluster.Config, v float64) { c.NetBW = v }},
+		{"ComputeScale", func(c *cluster.Config, v float64) { c.ComputeScale = v }},
+	}
+	for _, m := range mutations {
+		for _, v := range []float64{0, -125e6} {
+			cfg := cluster.DefaultConfig()
+			m.set(&cfg, v)
+			if err := cfg.Validate(); err == nil {
+				t.Errorf("%s = %g accepted by Validate", m.name, v)
+			}
+		}
+	}
+	cfg := cluster.DefaultConfig()
+	cfg.MemPerWorker = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative MemPerWorker accepted by Validate")
+	}
+}
+
+func TestZeroByteTransfersCostZero(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	costs := map[string]sim.VTime{
+		"DiskReadSec":  cfg.DiskReadSec(0),
+		"DiskWriteSec": cfg.DiskWriteSec(0),
+		"MemReadSec":   cfg.MemReadSec(0),
+		"MemWriteSec":  cfg.MemWriteSec(0),
+		"NetSec":       cfg.NetSec(0),
+	}
+	for name, got := range costs {
+		if got != 0 {
+			t.Errorf("%s(0) = %v, want exactly 0", name, got)
+		}
+	}
+}
+
+// runAtScale executes a small two-stage job on a cluster whose compute
+// scale is the only varying parameter.
+func runAtScale(t *testing.T, scale float64) sim.VTime {
+	t.Helper()
+	b := mdf.NewBuilder()
+	rows := make([]dataset.Row, 400)
+	for i := range rows {
+		rows[i] = i
+	}
+	src := b.Source("src", mdf.SourceFunc(func() *dataset.Dataset {
+		return dataset.FromRows("input", rows, 4, 1<<20)
+	}), 0.001)
+	src.Then("work", mdf.Identity("out"), 0.01)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	cfg := cluster.DefaultConfig()
+	cfg.Workers = 4
+	cfg.ComputeScale = scale
+	res, err := engine.Execute(g, engine.Options{
+		Cluster:   cluster.MustNew(cfg),
+		Policy:    memorymgr.LRU,
+		Scheduler: scheduler.BFS(),
+	})
+	if err != nil {
+		t.Fatalf("Execute(scale=%g): %v", scale, err)
+	}
+	return res.CompletionTime()
+}
+
+func TestComputeScaleMonotonic(t *testing.T) {
+	scales := []float64{0.5, 1.0, 2.0, 4.0}
+	times := make([]sim.VTime, len(scales))
+	for i, s := range scales {
+		times[i] = runAtScale(t, s)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Errorf("completion time decreased when compute scale rose %gx -> %gx: %v -> %v",
+				scales[i-1], scales[i], times[i-1], times[i])
+		}
+	}
+	if times[len(times)-1] <= times[0] {
+		t.Errorf("8x compute scale did not increase completion time: %v vs %v", times[0], times[len(times)-1])
+	}
+}

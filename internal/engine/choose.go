@@ -6,6 +6,7 @@ import (
 	"metadataflow/internal/dataset"
 	"metadataflow/internal/graph"
 	"metadataflow/internal/scheduler"
+	"metadataflow/internal/sim"
 )
 
 // chooseStateFor lazily creates the incremental selection session for a
@@ -59,7 +60,7 @@ func (r *Run) evalBranchOf(chooseSt, branchFinal *graph.Stage) error {
 // branch result (Alg. 1, line 7), offers the score to the master-side
 // selection session (line 8), discards the datasets of rejected branches,
 // and prunes superfluous branches when the session completes early.
-func (r *Run) evalBranch(chooseSt *graph.Stage, branch int, ready float64) error {
+func (r *Run) evalBranch(chooseSt *graph.Stage, branch int, ready sim.VTime) error {
 	cs := r.chooseStateFor(chooseSt)
 	if cs.offered[branch] || cs.quarantined[branch] || cs.done {
 		return nil
@@ -73,8 +74,8 @@ func (r *Run) evalBranch(chooseSt *graph.Stage, branch int, ready float64) error
 
 	// Workers read the branch result and compute the evaluator score.
 	nodeT := r.loadInputs([]*dataset.Dataset{d}, ready)
-	scan := op.CostPerMB * float64(d.VirtualBytes()) / bytesPerMB
-	r.chargeCompute([]*dataset.Dataset{d}, op.FixedCost, scan, nodeT)
+	scan := sim.VTime(op.CostPerMB * sim.Bytes(d.VirtualBytes()).MB())
+	r.chargeCompute([]*dataset.Dataset{d}, sim.VTime(op.FixedCost), scan, nodeT)
 	end := ready
 	for _, t := range nodeT {
 		if t > end {
@@ -140,6 +141,7 @@ func (r *Run) discardBranchDataset(chooseSt *graph.Stage, cs *chooseState, branc
 	if incremental {
 		r.metrics.BranchesDiscarded++
 	}
+	r.unpinDataset(d)
 	r.consumeInput(d)
 }
 
@@ -172,7 +174,7 @@ func (r *Run) pruneRemaining(chooseSt *graph.Stage, cs *chooseState) {
 
 // skipStage marks a stage as pruned and releases the inputs it would have
 // consumed.
-func (r *Run) skipStage(st *graph.Stage, t float64) {
+func (r *Run) skipStage(st *graph.Stage, t sim.VTime) {
 	if r.skipped[st.ID] || r.executed[st.ID] {
 		return
 	}
@@ -267,6 +269,7 @@ func (r *Run) finalizeChooseInputs(st *graph.Stage, cs *chooseState, keep map[in
 		}
 		cs.released[b] = true
 		if d := r.stageOut[pre.ID]; d != nil {
+			r.unpinDataset(d)
 			r.consumeInput(d)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"metadataflow/internal/mdf"
 	"metadataflow/internal/memorymgr"
 	"metadataflow/internal/scheduler"
+	"metadataflow/internal/sim"
 )
 
 // TestDiamondMergeExecution: a transform with two predecessors (built with
@@ -160,11 +161,11 @@ func TestTaskBreakdown(t *testing.T) {
 	if tasks[0].Partitions != 2 || tasks[2].Partitions != 1 {
 		t.Errorf("partition spread wrong: %+v", tasks)
 	}
-	var total int64
+	var total sim.Bytes
 	for _, tk := range tasks {
 		total += tk.InputBytes
 	}
-	if total != d.VirtualBytes() {
+	if total.Int64() != d.VirtualBytes() {
 		t.Errorf("task bytes = %d, want %d", total, d.VirtualBytes())
 	}
 	if engine.TaskBreakdown("T1", 0, nil) != nil {

@@ -19,16 +19,17 @@ import (
 	"metadataflow/internal/graph"
 	"metadataflow/internal/memorymgr"
 	"metadataflow/internal/scheduler"
+	"metadataflow/internal/sim"
 )
 
 // Options configures a run.
 type Options struct {
 	// Cluster is the simulated cluster; required.
 	Cluster *cluster.Cluster
-	// MemPerWorker is the job's dataset-memory budget per worker in bytes;
+	// MemPerWorker is the job's dataset-memory budget per worker;
 	// 0 uses the cluster's configured budget. Parallel-job baselines pass
 	// a 1/k share (§6.1).
-	MemPerWorker int64
+	MemPerWorker sim.Bytes
 	// Policy selects the eviction policy (LRU or AMM).
 	Policy memorymgr.PolicyKind
 	// Scheduler selects the stage-scheduling policy (BFS or BAS); nil
@@ -89,7 +90,7 @@ type Metrics struct {
 	// Mem holds the memory-manager statistics (hit ratio etc.).
 	Mem memorymgr.Metrics
 	// ComputeSec is the total virtual compute time charged.
-	ComputeSec float64
+	ComputeSec sim.VTime
 	// StagesExecuted and StagesPruned count scheduling outcomes.
 	StagesExecuted int
 	StagesPruned   int
@@ -125,7 +126,7 @@ type Metrics struct {
 	// kept panicking past the retry budget.
 	BranchesQuarantined int
 	// RecoverySec is the virtual time spent in failure recovery.
-	RecoverySec float64
+	RecoverySec sim.VTime
 }
 
 // EventKind classifies a timeline event.
@@ -166,14 +167,14 @@ type StageEvent struct {
 	Stage string
 	// Start and End are the event's virtual time span (equal for pruning
 	// decisions).
-	Start, End float64
+	Start, End sim.VTime
 }
 
 // Result is the outcome of a run.
 type Result struct {
 	// Start and End are the virtual start and completion times; End-Start
 	// is the job's completion time.
-	Start, End float64
+	Start, End sim.VTime
 	// Output is the dataset produced by the sink stage.
 	Output *dataset.Dataset
 	// Metrics holds run statistics.
@@ -186,7 +187,7 @@ type Result struct {
 }
 
 // CompletionTime returns End - Start.
-func (r *Result) CompletionTime() float64 { return r.End - r.Start }
+func (r *Result) CompletionTime() sim.VTime { return r.End - r.Start }
 
 // Run is a resumable execution of one job; Step executes one stage at a
 // time so that concurrent jobs can be interleaved by virtual time.
@@ -196,13 +197,13 @@ type Run struct {
 
 	allocs []*memorymgr.Allocator
 
-	start    float64
-	now      float64
+	start    sim.VTime
+	now      sim.VTime
 	last     *graph.Stage
 	ready    map[int]*graph.Stage
 	executed map[int]bool
 	skipped  map[int]bool
-	stageEnd map[int]float64
+	stageEnd map[int]sim.VTime
 	stageOut map[int]*dataset.Dataset
 
 	// consumersLeft tracks remaining consumer stages per dataset (D^c_s).
@@ -223,7 +224,7 @@ type Run struct {
 	producerOf map[dataset.ID]int
 	// stageDur records each executed stage's virtual duration, the cost
 	// charged when the stage is re-executed to re-derive lost partitions.
-	stageDur map[int]float64
+	stageDur map[int]sim.VTime
 	// placement overrides the default partition-to-node mapping (index mod
 	// workers) for partitions rebalanced or re-derived after failures.
 	placement map[dataset.PartKey]int
@@ -237,7 +238,7 @@ type Run struct {
 }
 
 // trace appends a timeline event when tracing is enabled.
-func (r *Run) trace(kind EventKind, label string, start, end float64) {
+func (r *Run) trace(kind EventKind, label string, start, end sim.VTime) {
 	if !r.opts.Trace {
 		return
 	}
@@ -251,12 +252,12 @@ type chooseState struct {
 	released    map[int]bool // branch dataset already consumed
 	quarantined map[int]bool // branch discarded after persistent op panics
 	done        bool         // remaining branches superfluous
-	evalEnd     float64
+	evalEnd     sim.VTime
 }
 
 // NewRun prepares a run of the plan with the given options. start is the
 // virtual time at which the job is submitted.
-func NewRun(plan *graph.Plan, opts Options, start float64) (*Run, error) {
+func NewRun(plan *graph.Plan, opts Options, start sim.VTime) (*Run, error) {
 	o := (&opts).withDefaults()
 	if o.Cluster == nil {
 		return nil, fmt.Errorf("engine: options need a cluster")
@@ -278,14 +279,14 @@ func NewRun(plan *graph.Plan, opts Options, start float64) (*Run, error) {
 		ready:         make(map[int]*graph.Stage),
 		executed:      make(map[int]bool),
 		skipped:       make(map[int]bool),
-		stageEnd:      make(map[int]float64),
+		stageEnd:      make(map[int]sim.VTime),
 		stageOut:      make(map[int]*dataset.Dataset),
 		consumersLeft: make(map[dataset.ID]int),
 		datasets:      make(map[dataset.ID]*dataset.Dataset),
 		protectedIDs:  make(map[dataset.ID]bool),
 		sessions:      make(map[int]*chooseState),
 		producerOf:    make(map[dataset.ID]int),
-		stageDur:      make(map[int]float64),
+		stageDur:      make(map[int]sim.VTime),
 		placement:     make(map[dataset.PartKey]int),
 		retry:         faults.DefaultRetry(),
 		checkpoint:    o.Checkpoint,
@@ -316,7 +317,7 @@ func (r *Run) FutureAccesses(key dataset.PartKey) int {
 }
 
 // Now returns the job's current virtual time.
-func (r *Run) Now() float64 { return r.now }
+func (r *Run) Now() sim.VTime { return r.now }
 
 // Done reports whether the run has finished (successfully or not).
 func (r *Run) Done() bool { return r.done }
@@ -405,10 +406,10 @@ func (r *Run) applyFaults() error {
 		return nil
 	}
 	for i, n := range r.opts.Cluster.Nodes {
-		slow, disk := r.injector.TransientFactors(i, r.now)
+		slow, disk := r.injector.TransientFactors(i, r.now.Seconds())
 		n.SetFaultFactors(slow, disk)
 	}
-	for _, c := range r.injector.DueCrashes(r.metrics.StagesExecuted, r.now) {
+	for _, c := range r.injector.DueCrashes(r.metrics.StagesExecuted, r.now.Seconds()) {
 		if err := r.onCrash(c); err != nil {
 			return err
 		}
@@ -520,7 +521,7 @@ func (r *Run) hasQuarantined(st *graph.Stage) bool {
 }
 
 // readyTime returns the virtual time at which the stage may start.
-func (r *Run) readyTime(st *graph.Stage) float64 {
+func (r *Run) readyTime(st *graph.Stage) sim.VTime {
 	t := r.start
 	for _, pre := range r.plan.Pre(st) {
 		if e, ok := r.stageEnd[pre.ID]; ok && e > t {
@@ -581,6 +582,21 @@ func (r *Run) consumeInput(d *dataset.Dataset) {
 	r.consumersLeft[d.ID]--
 	if r.consumersLeft[d.ID] <= 0 && !r.protected(d.ID) {
 		r.discardDataset(d)
+	}
+}
+
+// unpinDataset releases the PinReused pins of a branch dataset that a
+// choose decision has rejected. Without this, a pinned dataset that stays
+// live for another consumer would sit in the unevictable pool for the rest
+// of the job — the pin leak the leakcheck rule guards against: every Pin
+// must have a matching Unpin path.
+func (r *Run) unpinDataset(d *dataset.Dataset) {
+	if !r.opts.PinReused {
+		return
+	}
+	for i := range d.Parts {
+		key := d.Key(i)
+		r.allocs[r.nodeOf(key, i)].Unpin(key)
 	}
 }
 

@@ -10,9 +10,10 @@ import (
 	"metadataflow/internal/mdf"
 	"metadataflow/internal/memorymgr"
 	"metadataflow/internal/scheduler"
+	"metadataflow/internal/sim"
 )
 
-func testCluster(memPerWorker int64) *cluster.Cluster {
+func testCluster(memPerWorker sim.Bytes) *cluster.Cluster {
 	cfg := cluster.DefaultConfig()
 	cfg.Workers = 4
 	cfg.MemPerWorker = memPerWorker

@@ -6,6 +6,7 @@ import (
 
 	"metadataflow/internal/dataset"
 	"metadataflow/internal/graph"
+	"metadataflow/internal/sim"
 )
 
 // orderAware matches sessions whose property-based pruning requires the
@@ -13,8 +14,6 @@ import (
 type orderAware interface {
 	SetSortedOrder(sorted bool)
 }
-
-const bytesPerMB = 1e6
 
 // execStage executes a non-choose stage: it loads the inputs through the
 // memory allocators, applies the pipelined operator chain for real, charges
@@ -52,12 +51,12 @@ func (r *Run) execStage(st *graph.Stage) error {
 	// epoch) and spread evenly across workers; per-MB costs follow the
 	// placement of the input bytes.
 	cur := ins
-	var cpuFixed, cpuScan, retryPenalty float64
-	var externalBytes int64
+	var cpuFixed, cpuScan, retryPenalty sim.VTime
+	var externalBytes sim.Bytes
 	for _, op := range st.Ops {
-		inBytes := int64(0)
+		inBytes := sim.Bytes(0)
 		for _, d := range cur {
-			inBytes += d.VirtualBytes()
+			inBytes += sim.Bytes(d.VirtualBytes())
 		}
 		out, penalty, err := r.runTransform(op, cur)
 		retryPenalty += penalty
@@ -81,11 +80,11 @@ func (r *Run) execStage(st *graph.Stage) error {
 		if op.Kind == graph.KindSource {
 			// Reading the external input charges a disk scan (§6.1: "it
 			// requires a linear scan over the entire dataset").
-			externalBytes += out.VirtualBytes()
-			inBytes = out.VirtualBytes()
+			externalBytes += sim.Bytes(out.VirtualBytes())
+			inBytes = sim.Bytes(out.VirtualBytes())
 		}
-		cpuFixed += op.FixedCost
-		cpuScan += op.CostPerMB * float64(inBytes) / bytesPerMB
+		cpuFixed += sim.VTime(op.FixedCost)
+		cpuScan += sim.VTime(op.CostPerMB * inBytes.MB())
 		cur = []*dataset.Dataset{out}
 	}
 	out := cur[0]
@@ -98,7 +97,7 @@ func (r *Run) execStage(st *graph.Stage) error {
 
 	if externalBytes > 0 {
 		live := r.liveAllocs()
-		per := externalBytes / int64(len(live))
+		per := externalBytes / sim.Bytes(len(live))
 		for _, n := range live {
 			end := r.opts.Cluster.Nodes[n].Disk(nodeT[n], r.opts.Cluster.Config.DiskReadSec(per))
 			nodeT[n] = end
@@ -142,8 +141,8 @@ func (r *Run) inputs(st *graph.Stage) []*dataset.Dataset {
 
 // loadInputs charges the access cost of every input partition and returns
 // the per-node time cursors.
-func (r *Run) loadInputs(ins []*dataset.Dataset, ready float64) []float64 {
-	nodeT := make([]float64, len(r.allocs))
+func (r *Run) loadInputs(ins []*dataset.Dataset, ready sim.VTime) []sim.VTime {
+	nodeT := make([]sim.VTime, len(r.allocs))
 	for i := range nodeT {
 		nodeT[i] = ready
 	}
@@ -165,7 +164,7 @@ func (r *Run) loadInputs(ins []*dataset.Dataset, ready float64) []float64 {
 // chargeShuffle charges the network cost of wide input dependencies: each
 // worker ships the (W-1)/W share of its partitions that other workers'
 // tasks consume (App. A wide dependencies; the testbed's 1 Gbps links).
-func (r *Run) chargeShuffle(st *graph.Stage, ins []*dataset.Dataset, nodeT []float64) {
+func (r *Run) chargeShuffle(st *graph.Stage, ins []*dataset.Dataset, nodeT []sim.VTime) {
 	w := len(r.allocs)
 	if w <= 1 {
 		return
@@ -180,15 +179,15 @@ func (r *Run) chargeShuffle(st *graph.Stage, ins []*dataset.Dataset, nodeT []flo
 		if !ok || dep != graph.Wide {
 			continue
 		}
-		perNode := make([]int64, w)
+		perNode := make([]sim.Bytes, w)
 		for pi, p := range d.Parts {
-			perNode[r.nodeOf(d.Key(pi), pi)] += p.VirtualBytes
+			perNode[r.nodeOf(d.Key(pi), pi)] += sim.Bytes(p.VirtualBytes)
 		}
 		for n, bytes := range perNode {
 			if bytes == 0 {
 				continue
 			}
-			moved := bytes * int64(w-1) / int64(w)
+			moved := bytes * sim.Bytes(w-1) / sim.Bytes(w)
 			end := r.opts.Cluster.Nodes[n].Net(nodeT[n], r.opts.Cluster.Config.NetSec(moved))
 			if end > nodeT[n] {
 				nodeT[n] = end
@@ -200,13 +199,13 @@ func (r *Run) chargeShuffle(st *graph.Stage, ins []*dataset.Dataset, nodeT []flo
 // chargeCompute advances the node cursors by the stage's compute cost:
 // fixed cost spreads evenly over all workers (data-parallel work), scan cost
 // follows each node's share of the input bytes.
-func (r *Run) chargeCompute(ins []*dataset.Dataset, cpuFixed, cpuScan float64, nodeT []float64) {
+func (r *Run) chargeCompute(ins []*dataset.Dataset, cpuFixed, cpuScan sim.VTime, nodeT []sim.VTime) {
 	if cpuFixed <= 0 && cpuScan <= 0 {
 		return
 	}
 	scale := r.opts.Cluster.Config.ComputeScale
-	cpuFixed *= scale
-	cpuScan *= scale
+	cpuFixed = sim.VTime(float64(cpuFixed) * scale)
+	cpuScan = sim.VTime(float64(cpuScan) * scale)
 	r.metrics.ComputeSec += cpuFixed + cpuScan
 	live := r.liveAllocs()
 	shares := make([]float64, len(r.allocs))
@@ -244,7 +243,7 @@ func (r *Run) chargeCompute(ins []*dataset.Dataset, cpuFixed, cpuScan float64, n
 		}
 		work := cpuFixed + cpuScan
 		for _, n := range live {
-			dur := work * caps[n] / capTotal
+			dur := sim.VTime(float64(work) * caps[n] / capTotal)
 			if dur <= 0 {
 				continue
 			}
@@ -252,9 +251,9 @@ func (r *Run) chargeCompute(ins []*dataset.Dataset, cpuFixed, cpuScan float64, n
 		}
 		return
 	}
-	perNodeFixed := cpuFixed / float64(len(live))
+	perNodeFixed := cpuFixed / sim.VTime(len(live))
 	for _, n := range live {
-		dur := perNodeFixed + cpuScan*shares[n]/total
+		dur := perNodeFixed + sim.VTime(float64(cpuScan)*shares[n]/total)
 		if dur <= 0 {
 			continue
 		}
@@ -265,15 +264,15 @@ func (r *Run) chargeCompute(ins []*dataset.Dataset, cpuFixed, cpuScan float64, n
 
 // storeOutput writes the output partitions to their nodes and returns the
 // stage completion time.
-func (r *Run) storeOutput(out *dataset.Dataset, nodeT []float64) float64 {
+func (r *Run) storeOutput(out *dataset.Dataset, nodeT []sim.VTime) sim.VTime {
 	for i, p := range out.Parts {
 		n := r.placeNew(out.Key(i), i)
-		end := r.allocs[n].Put(out.Key(i), p.VirtualBytes, nodeT[n])
+		end := r.allocs[n].Put(out.Key(i), sim.Bytes(p.VirtualBytes), nodeT[n])
 		if end > nodeT[n] {
 			nodeT[n] = end
 		}
 	}
-	end := 0.0
+	end := sim.VTime(0)
 	for _, t := range nodeT {
 		if t > end {
 			end = t
@@ -282,7 +281,7 @@ func (r *Run) storeOutput(out *dataset.Dataset, nodeT []float64) float64 {
 	return end
 }
 
-func (r *Run) markExecuted(st *graph.Stage, ready, end float64) {
+func (r *Run) markExecuted(st *graph.Stage, ready, end sim.VTime) {
 	r.executed[st.ID] = true
 	r.stageEnd[st.ID] = end
 	if d := end - ready; d > 0 {

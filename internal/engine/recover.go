@@ -8,6 +8,7 @@ import (
 	"metadataflow/internal/faults"
 	"metadataflow/internal/graph"
 	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/sim"
 )
 
 // QuarantineRecord documents a branch discarded because one of its operator
@@ -66,7 +67,7 @@ func (r *Run) callScore(op *graph.Operator, d *dataset.Dataset) (score float64, 
 // failed attempts, to be charged to the stage regardless of the outcome. A
 // non-panic error propagates immediately; a panic persisting past the retry
 // budget is returned as *opPanicError.
-func (r *Run) runTransform(op *graph.Operator, in []*dataset.Dataset) (out *dataset.Dataset, penalty float64, err error) {
+func (r *Run) runTransform(op *graph.Operator, in []*dataset.Dataset) (out *dataset.Dataset, penalty sim.VTime, err error) {
 	for attempt := 1; ; attempt++ {
 		out, err = r.callTransform(op, in)
 		if err == nil {
@@ -77,14 +78,14 @@ func (r *Run) runTransform(op *graph.Operator, in []*dataset.Dataset) (out *data
 			return nil, penalty, err
 		}
 		r.metrics.Retries++
-		penalty += r.retry.Backoff(attempt)
+		penalty += sim.VTime(r.retry.Backoff(attempt))
 	}
 }
 
 // runScore executes a choose evaluator with the same retry/backoff regime as
 // runTransform. Evaluators have no error path, so any returned error is a
 // persistent panic.
-func (r *Run) runScore(op *graph.Operator, d *dataset.Dataset) (score, penalty float64, err error) {
+func (r *Run) runScore(op *graph.Operator, d *dataset.Dataset) (score float64, penalty sim.VTime, err error) {
 	for attempt := 1; ; attempt++ {
 		score, err = r.callScore(op, d)
 		if err == nil {
@@ -94,7 +95,7 @@ func (r *Run) runScore(op *graph.Operator, d *dataset.Dataset) (score, penalty f
 			return 0, penalty, err
 		}
 		r.metrics.Retries++
-		penalty += r.retry.Backoff(attempt)
+		penalty += sim.VTime(r.retry.Backoff(attempt))
 	}
 }
 
@@ -188,7 +189,7 @@ func (r *Run) rederive(lost []memorymgr.Lost) {
 	start := r.now
 	end := start
 	type producerNode struct{ stage, node int }
-	reExecEnd := make(map[producerNode]float64)
+	reExecEnd := make(map[producerNode]sim.VTime)
 	reExecuted := make(map[int]bool)
 	for _, l := range lost {
 		node := r.homeOf(l.Key.Index)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"metadataflow/internal/dataset"
+	"metadataflow/internal/sim"
 )
 
 // The paper's execution model breaks a job into compute tasks — pairs of
@@ -21,7 +22,7 @@ type TaskReport struct {
 	// Partitions is the number of input partitions the worker processed.
 	Partitions int
 	// InputBytes is the accounted input volume.
-	InputBytes int64
+	InputBytes sim.Bytes
 }
 
 // TaskBreakdown derives the per-worker task list of a stage from its input
@@ -32,7 +33,7 @@ func TaskBreakdown(stageLabel string, workers int, ins []*dataset.Dataset) []Tas
 		return nil
 	}
 	parts := make([]int, workers)
-	bytes := make([]int64, workers)
+	bytes := make([]sim.Bytes, workers)
 	for _, d := range ins {
 		if d == nil {
 			continue
@@ -40,7 +41,7 @@ func TaskBreakdown(stageLabel string, workers int, ins []*dataset.Dataset) []Tas
 		for i, p := range d.Parts {
 			n := i % workers
 			parts[n]++
-			bytes[n] += p.VirtualBytes
+			bytes[n] += sim.Bytes(p.VirtualBytes)
 		}
 	}
 	out := make([]TaskReport, 0, workers)
@@ -59,14 +60,14 @@ func TaskBreakdown(stageLabel string, workers int, ins []*dataset.Dataset) []Tas
 // SpillEntry reports the spill volume attributed to one dataset.
 type SpillEntry struct {
 	Dataset dataset.ID
-	Bytes   int64
+	Bytes   sim.Bytes
 }
 
 // SpillReport aggregates per-dataset spill volumes across the run's
 // allocators and returns the top offenders, largest first — the datasets a
 // user would pin or restructure around.
 func (r *Run) SpillReport(top int) []SpillEntry {
-	byDataset := map[dataset.ID]int64{}
+	byDataset := map[dataset.ID]sim.Bytes{}
 	for _, a := range r.allocs {
 		for key, bytes := range a.SpilledByPartition() {
 			byDataset[key.Dataset] += bytes

@@ -12,6 +12,7 @@ import (
 	"metadataflow/internal/mdf"
 	"metadataflow/internal/memorymgr"
 	"metadataflow/internal/scheduler"
+	"metadataflow/internal/sim"
 )
 
 func executeTraced(t *testing.T, g *graph.Graph, opts engine.Options) *engine.Result {
@@ -127,7 +128,7 @@ func TestWideDependencyChargesShuffle(t *testing.T) {
 	}
 	// Expected shuffle time: 3/4 of each worker's 1 GB share at 1 Gbps.
 	cfg := testCluster(1).Config
-	expected := cfg.NetSec(int64(float64(1<<30) * 0.75))
+	expected := cfg.NetSec(sim.Bytes(float64(1<<30) * 0.75))
 	gap := wide.CompletionTime() - narrow.CompletionTime()
 	if gap < expected*0.5 || gap > expected*2 {
 		t.Errorf("shuffle gap = %0.2fs, expected around %0.2fs", gap, expected)

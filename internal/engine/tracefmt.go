@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"metadataflow/internal/sim"
 )
 
 // This file renders execution timelines for humans and tools: a plain-text
@@ -65,13 +67,13 @@ func WriteChromeTrace(w io.Writer, timeline []StageEvent) error {
 		ce := chromeEvent{
 			Name: ev.Stage,
 			Cat:  ev.Kind.String(),
-			Ts:   ev.Start * usPerVirtualSecond,
+			Ts:   ev.Start.Seconds() * usPerVirtualSecond,
 			Pid:  1,
 			Tid:  tids[ev.Kind],
 		}
 		if ev.End > ev.Start {
 			ce.Phase = "X" // complete event
-			ce.Dur = (ev.End - ev.Start) * usPerVirtualSecond
+			ce.Dur = (ev.End - ev.Start).Seconds() * usPerVirtualSecond
 		} else {
 			ce.Phase = "i" // instant event
 		}
@@ -90,7 +92,7 @@ func WriteChromeTrace(w io.Writer, timeline []StageEvent) error {
 // SummarizeTimeline aggregates the timeline into per-kind totals, a quick
 // profile of where virtual time went.
 func SummarizeTimeline(timeline []StageEvent) string {
-	totals := map[EventKind]float64{}
+	totals := map[EventKind]sim.VTime{}
 	counts := map[EventKind]int{}
 	for _, ev := range timeline {
 		totals[ev.Kind] += ev.End - ev.Start

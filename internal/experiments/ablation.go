@@ -62,7 +62,7 @@ func Ablation(o Options) (*Table, error) {
 				if err != nil {
 					return 0, err
 				}
-				return res.CompletionTime(), nil
+				return res.CompletionTime().Seconds(), nil
 			})
 			if err != nil {
 				return nil, err

@@ -16,6 +16,7 @@ import (
 	"metadataflow/internal/graph"
 	"metadataflow/internal/memorymgr"
 	"metadataflow/internal/scheduler"
+	"metadataflow/internal/sim"
 	"metadataflow/internal/stats"
 )
 
@@ -232,7 +233,7 @@ func ByID(id string) (Experiment, error) {
 func clusterConfig(workers int, mem int64) cluster.Config {
 	cfg := cluster.DefaultConfig()
 	cfg.Workers = workers
-	cfg.MemPerWorker = mem
+	cfg.MemPerWorker = sim.Bytes(mem)
 	return cfg
 }
 
@@ -271,7 +272,7 @@ func seqRun(g *graph.Graph, ccfg cluster.Config) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return res.CompletionTime, nil
+	return res.CompletionTime.Seconds(), nil
 }
 
 // parRun executes the expanded family k jobs at a time.
@@ -288,7 +289,7 @@ func parRun(g *graph.Graph, k int, ccfg cluster.Config) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return res.CompletionTime, nil
+	return res.CompletionTime.Seconds(), nil
 }
 
 // summarize runs fn once per seed and summarises the returned values.

@@ -51,7 +51,7 @@ func Fig10(o Options) (*Table, error) {
 				if err != nil {
 					return 0, err
 				}
-				return float64(p.VirtualBytes) / 1e6 / res.CompletionTime(), nil
+				return float64(p.VirtualBytes) / 1e6 / res.CompletionTime().Seconds(), nil
 			})
 			if err != nil {
 				return nil, err
@@ -143,7 +143,7 @@ func Fig11(o Options) (*Table, error) {
 				if err != nil {
 					return 0, err
 				}
-				return res.CompletionTime(), nil
+				return res.CompletionTime().Seconds(), nil
 			})
 			if err != nil {
 				return nil, err

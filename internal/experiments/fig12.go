@@ -55,7 +55,7 @@ func Fig12(o Options) (*Table, error) {
 				if err != nil {
 					return 0, err
 				}
-				return res.CompletionTime(), nil
+				return res.CompletionTime().Seconds(), nil
 			})
 			if err != nil {
 				return nil, err
@@ -144,7 +144,7 @@ func Fig16(o Options) (*Table, error) {
 				if err != nil {
 					return 0, err
 				}
-				return res.CompletionTime() / base.CompletionTime(), nil
+				return (res.CompletionTime() / base.CompletionTime()).Seconds(), nil
 			})
 			if err != nil {
 				return nil, err
@@ -202,7 +202,7 @@ func Fig17(o Options) (*Table, error) {
 				if err != nil {
 					return 0, err
 				}
-				return res.CompletionTime() / base.CompletionTime(), nil
+				return (res.CompletionTime() / base.CompletionTime()).Seconds(), nil
 			})
 			if err != nil {
 				return nil, err

@@ -90,7 +90,7 @@ func Fig5(o Options) (*Table, error) {
 			if err != nil {
 				return 0, err
 			}
-			return res.CompletionTime(), nil
+			return res.CompletionTime().Seconds(), nil
 		})
 		if err != nil {
 			return nil, err

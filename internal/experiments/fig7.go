@@ -128,7 +128,7 @@ func Fig7(o Options) (*Table, error) {
 			if err != nil {
 				return 0, err
 			}
-			return res.CompletionTime(), nil
+			return res.CompletionTime().Seconds(), nil
 		})
 		if err != nil {
 			return nil, err
@@ -218,7 +218,7 @@ func Fig8(o Options) (*Table, error) {
 			if err != nil {
 				return 0, err
 			}
-			return res.CompletionTime(), nil
+			return res.CompletionTime().Seconds(), nil
 		}
 
 		// MDF: threshold over all branches (explores everything).

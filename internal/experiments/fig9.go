@@ -85,7 +85,7 @@ func Fig9(o Options) (*Table, error) {
 				if err != nil {
 					return 0, err
 				}
-				return res.CompletionTime(), nil
+				return res.CompletionTime().Seconds(), nil
 			},
 			// SEEP (BFS): one job, BFS, LRU, no pinning, no incremental.
 			func(seed int64) (float64, error) {
@@ -98,7 +98,7 @@ func Fig9(o Options) (*Table, error) {
 				if err != nil {
 					return 0, err
 				}
-				return res.CompletionTime(), nil
+				return res.CompletionTime().Seconds(), nil
 			},
 			// SEEP (MDF): BAS + AMM + incremental choose.
 			func(seed int64) (float64, error) {
@@ -110,7 +110,7 @@ func Fig9(o Options) (*Table, error) {
 				if err != nil {
 					return 0, err
 				}
-				return res.CompletionTime(), nil
+				return res.CompletionTime().Seconds(), nil
 			},
 		}
 		for _, fn := range cells {

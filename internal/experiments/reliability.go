@@ -67,7 +67,7 @@ func Stragglers(o Options) (*Table, error) {
 		if err != nil {
 			return 0, err
 		}
-		return res.CompletionTime(), nil
+		return res.CompletionTime().Seconds(), nil
 	}
 	base, err := summarize(seeds, func(seed int64) (float64, error) { return run(seed, 1, false) })
 	if err != nil {
@@ -151,7 +151,7 @@ func Recovery(o Options) (*Table, error) {
 		if err != nil {
 			return 0, err
 		}
-		return res.CompletionTime(), nil
+		return res.CompletionTime().Seconds(), nil
 	}
 	points := []int{5, 15, 25}
 	if o.Quick {
@@ -251,7 +251,7 @@ func Reliability(o Options) (*Table, error) {
 		if err != nil {
 			return 0, err
 		}
-		return res.CompletionTime(), nil
+		return res.CompletionTime().Seconds(), nil
 	}
 	for _, rate := range rates {
 		rate := rate

@@ -13,6 +13,7 @@ import (
 
 	"metadataflow/internal/cluster"
 	"metadataflow/internal/dataset"
+	"metadataflow/internal/sim"
 )
 
 // PolicyKind selects an eviction policy.
@@ -51,16 +52,16 @@ type Metrics struct {
 	// Hits and Misses count partition accesses served from memory or disk.
 	Hits, Misses int64
 	// BytesFromMem and BytesFromDisk are the corresponding byte volumes.
-	BytesFromMem, BytesFromDisk int64
+	BytesFromMem, BytesFromDisk sim.Bytes
 	// Evictions counts spill decisions; SpilledBytes their volume.
 	Evictions    int64
-	SpilledBytes int64
+	SpilledBytes sim.Bytes
 	// Checkpoints counts anticipatory checkpoint writes; CheckpointedBytes
 	// their volume. Only populated when checkpointing is enabled.
 	Checkpoints       int64
-	CheckpointedBytes int64
+	CheckpointedBytes sim.Bytes
 	// PeakResidentBytes is the high-water mark of memory use across nodes.
-	PeakResidentBytes int64
+	PeakResidentBytes sim.Bytes
 }
 
 // HitRatio returns the fraction of data accesses served from memory
@@ -90,8 +91,8 @@ func (m *Metrics) Merge(other *Metrics) {
 
 type entry struct {
 	key        dataset.PartKey
-	bytes      int64
-	lastAccess float64
+	bytes      sim.Bytes
+	lastAccess sim.VTime
 	inMemory   bool
 	pinned     bool
 	// onDisk records a durable copy on this node's disk, written either by a
@@ -104,16 +105,16 @@ type entry struct {
 type Allocator struct {
 	node     *cluster.Node
 	cfg      cluster.Config
-	capacity int64
+	capacity sim.Bytes
 	policy   PolicyKind
 	acc      AccessCounter
 	alpha    float64
 
-	used    int64
+	used    sim.Bytes
 	entries map[dataset.PartKey]*entry
-	spilled map[dataset.PartKey]int64
+	spilled map[dataset.PartKey]sim.Bytes
 	metrics Metrics
-	seq     float64 // tie-breaking sequence for identical timestamps
+	seq     sim.VTime // tie-breaking sequence for identical timestamps
 
 	// checkpointing enables durable-copy awareness: spilling a partition
 	// that already has an on-disk copy skips the redundant write, and the
@@ -124,7 +125,7 @@ type Allocator struct {
 
 // NewAllocator creates an allocator with the given memory capacity on node.
 // acc may be nil when the policy is LRU.
-func NewAllocator(node *cluster.Node, cfg cluster.Config, capacity int64, policy PolicyKind, acc AccessCounter) *Allocator {
+func NewAllocator(node *cluster.Node, cfg cluster.Config, capacity sim.Bytes, policy PolicyKind, acc AccessCounter) *Allocator {
 	return &Allocator{
 		node:     node,
 		cfg:      cfg,
@@ -133,7 +134,7 @@ func NewAllocator(node *cluster.Node, cfg cluster.Config, capacity int64, policy
 		acc:      acc,
 		alpha:    cfg.Alpha(),
 		entries:  make(map[dataset.PartKey]*entry),
-		spilled:  make(map[dataset.PartKey]int64),
+		spilled:  make(map[dataset.PartKey]sim.Bytes),
 	}
 }
 
@@ -142,19 +143,19 @@ func (a *Allocator) Metrics() *Metrics { return &a.metrics }
 
 // SpilledByPartition returns the cumulative bytes spilled per partition at
 // this node, for spill attribution reports.
-func (a *Allocator) SpilledByPartition() map[dataset.PartKey]int64 {
-	out := make(map[dataset.PartKey]int64, len(a.spilled))
+func (a *Allocator) SpilledByPartition() map[dataset.PartKey]sim.Bytes {
+	out := make(map[dataset.PartKey]sim.Bytes, len(a.spilled))
 	for k, v := range a.spilled {
 		out[k] = v
 	}
 	return out
 }
 
-// Capacity returns the allocator's memory budget in bytes.
-func (a *Allocator) Capacity() int64 { return a.capacity }
+// Capacity returns the allocator's memory budget.
+func (a *Allocator) Capacity() sim.Bytes { return a.capacity }
 
 // Used returns the bytes currently resident in memory.
-func (a *Allocator) Used() int64 { return a.used }
+func (a *Allocator) Used() sim.Bytes { return a.used }
 
 // Resident reports whether the partition is currently in memory.
 func (a *Allocator) Resident(key dataset.PartKey) bool {
@@ -177,7 +178,18 @@ func (a *Allocator) Pin(key dataset.PartKey) {
 	}
 }
 
-func (a *Allocator) touch(e *entry, t float64) {
+// Unpin clears a Pin, returning the partition to the evictable pool. The
+// engine unpins a branch's partitions when `choose` discards the branch, so
+// pinned reuse cannot leak memory-budget for the rest of the job; the
+// leakcheck rule in internal/analysis enforces that every package calling
+// Pin also calls Unpin.
+func (a *Allocator) Unpin(key dataset.PartKey) {
+	if e, ok := a.entries[key]; ok {
+		e.pinned = false
+	}
+}
+
+func (a *Allocator) touch(e *entry, t sim.VTime) {
 	a.seq += 1e-9
 	e.lastAccess = t + a.seq
 }
@@ -185,7 +197,7 @@ func (a *Allocator) touch(e *entry, t float64) {
 // Put stores a freshly produced partition, evicting per policy if memory is
 // exhausted, and returns the virtual time at which the write completes. A
 // partition larger than the whole budget goes straight to disk.
-func (a *Allocator) Put(key dataset.PartKey, bytes int64, t float64) float64 {
+func (a *Allocator) Put(key dataset.PartKey, bytes sim.Bytes, t sim.VTime) sim.VTime {
 	e := &entry{key: key, bytes: bytes}
 	a.entries[key] = e
 	if bytes > a.capacity {
@@ -209,7 +221,7 @@ func (a *Allocator) Put(key dataset.PartKey, bytes int64, t float64) float64 {
 // Access reads a partition as operator input, returning the completion time
 // and whether the access was a memory hit. Disk misses reload the partition
 // into memory (evicting per policy).
-func (a *Allocator) Access(key dataset.PartKey, t float64) (end float64, hit bool, err error) {
+func (a *Allocator) Access(key dataset.PartKey, t sim.VTime) (end sim.VTime, hit bool, err error) {
 	e, ok := a.entries[key]
 	if !ok {
 		return t, false, fmt.Errorf("memorymgr: access to unknown partition %s", key)
@@ -273,7 +285,7 @@ func (a *Allocator) SetCheckpointing(on bool) { a.checkpointing = on }
 // t, and returns the write-completion time. It is a no-op (returning t) when
 // the partition is unknown or already durable. The engine drives this for
 // AMM's anticipatory checkpointing of consumed intermediates.
-func (a *Allocator) Checkpoint(key dataset.PartKey, t float64) float64 {
+func (a *Allocator) Checkpoint(key dataset.PartKey, t sim.VTime) sim.VTime {
 	e, ok := a.entries[key]
 	if !ok || e.onDisk {
 		return t
@@ -295,7 +307,7 @@ func (a *Allocator) Checkpointed(key dataset.PartKey) bool {
 // engine re-derives it by lineage.
 type Lost struct {
 	Key   dataset.PartKey
-	Bytes int64
+	Bytes sim.Bytes
 }
 
 // Crash models a process restart of the node (a non-permanent failure):
@@ -341,7 +353,7 @@ func (a *Allocator) Evacuate() (checkpointed, lost []Lost) {
 // AdoptSpilled registers a partition at this node as an on-disk copy without
 // charging any I/O; the engine charges the transfer that moved it. Used when
 // rebalancing a dead node's checkpointed partitions onto survivors.
-func (a *Allocator) AdoptSpilled(key dataset.PartKey, bytes int64) {
+func (a *Allocator) AdoptSpilled(key dataset.PartKey, bytes sim.Bytes) {
 	if _, ok := a.entries[key]; ok {
 		return
 	}
@@ -360,7 +372,7 @@ func sortLost(ls []Lost) {
 
 // makeRoom evicts partitions per policy until bytes fit, charging disk
 // writes for each spill, and returns the time at which room is available.
-func (a *Allocator) makeRoom(bytes int64, t float64) float64 {
+func (a *Allocator) makeRoom(bytes sim.Bytes, t sim.VTime) sim.VTime {
 	for a.used+bytes > a.capacity {
 		victim := a.pickVictim()
 		if victim == nil {
@@ -410,7 +422,7 @@ func (a *Allocator) pickVictim() *entry {
 	})
 	switch a.policy {
 	case AMM:
-		best, bestPref, bestAge := cands[0], math.Inf(1), math.Inf(1)
+		best, bestPref, bestAge := cands[0], math.Inf(1), sim.VTime(math.Inf(1))
 		for _, e := range cands {
 			acc := 0
 			if a.acc != nil {

@@ -6,6 +6,7 @@ import (
 
 	"metadataflow/internal/cluster"
 	"metadataflow/internal/dataset"
+	"metadataflow/internal/sim"
 )
 
 type accMap map[dataset.PartKey]int
@@ -14,7 +15,7 @@ func (m accMap) FutureAccesses(k dataset.PartKey) int { return m[k] }
 
 func key(i int) dataset.PartKey { return dataset.PartKey{Dataset: dataset.ID(i), Index: 0} }
 
-func newAlloc(capacity int64, policy PolicyKind, acc AccessCounter) (*Allocator, *cluster.Node) {
+func newAlloc(capacity sim.Bytes, policy PolicyKind, acc AccessCounter) (*Allocator, *cluster.Node) {
 	node := &cluster.Node{}
 	return NewAllocator(node, cluster.DefaultConfig(), capacity, policy, acc), node
 }
@@ -147,6 +148,29 @@ func TestPinnedSparedWhileUnpinnedExists(t *testing.T) {
 	}
 	if a.Resident(key(2)) {
 		t.Fatal("unpinned partition should have been evicted instead")
+	}
+}
+
+func TestUnpinReturnsBytesToEvictable(t *testing.T) {
+	a, _ := newAlloc(2500, LRU, nil)
+	a.Put(key(1), 1000, 0)
+	a.Pin(key(1))
+	a.Put(key(2), 1000, 1)
+	// Capacity forces an eviction: the pinned partition is spared, so the
+	// newer one is the only candidate.
+	a.Put(key(3), 1000, 2)
+	if !a.Resident(key(1)) {
+		t.Fatal("pinned partition must be spared while pinned")
+	}
+	a.Unpin(key(1))
+	// After Unpin the 1000 pinned bytes are evictable again: the next Put
+	// picks key(1) as the LRU victim (oldest access).
+	a.Put(key(4), 1000, 3)
+	if a.Resident(key(1)) {
+		t.Fatal("unpinned partition must return to the evictable pool")
+	}
+	if !a.Resident(key(4)) {
+		t.Fatal("new partition should occupy the reclaimed bytes")
 	}
 }
 
@@ -314,8 +338,8 @@ func TestCapacityInvariantProperty(t *testing.T) {
 	f := func(sizes []uint16) bool {
 		a, _ := newAlloc(capacity, LRU, nil)
 		for i, s := range sizes {
-			size := int64(s)%4000 + 1
-			a.Put(key(i), size, float64(i))
+			size := sim.Bytes(s)%4000 + 1
+			a.Put(key(i), size, sim.VTime(i))
 			if a.Used() > capacity {
 				return false
 			}
@@ -336,12 +360,12 @@ func TestAccessAccountingProperty(t *testing.T) {
 		var accesses int64
 		for i, op := range ops {
 			if op%3 == 0 || puts == 0 {
-				a.Put(key(puts), int64(op)%2000+1, float64(i))
+				a.Put(key(puts), sim.Bytes(op)%2000+1, sim.VTime(i))
 				puts++
 				continue
 			}
 			target := key(int(op) % puts)
-			if _, _, err := a.Access(target, float64(i)); err != nil {
+			if _, _, err := a.Access(target, sim.VTime(i)); err != nil {
 				return false
 			}
 			accesses++

@@ -1,0 +1,44 @@
+// Package sim defines the named unit types for the simulator's two core
+// quantities: virtual time and data volume.
+//
+// The cost model in internal/cluster mixes three kinds of numbers —
+// virtual-time seconds, byte counts, and dimensionless throughput ratios.
+// Before this package existed they were all raw float64/int64, so a swapped
+// argument (a byte count where a duration belongs) compiled silently and
+// skewed every downstream experiment. VTime and Bytes are distinct named
+// types, which makes cross-unit arithmetic a compile error, and the
+// unitsafety rule in internal/analysis enforces that exported simulator
+// signatures use them and that conversions between them happen only inside
+// the cluster cost model (division by a bandwidth is the one sanctioned
+// bytes-to-seconds path).
+//
+// Both types are thin wrappers: VTime has the arithmetic of float64 and
+// Bytes of int64, untyped constants interoperate (t += 1.5 works), and the
+// conversions back to the raw representation are explicit methods so the
+// analyzer can tell a sanctioned unwrap from an accidental unit mix.
+package sim
+
+// VTime is a point on (or span of) the simulator's virtual-time axis,
+// measured in virtual seconds. It is NOT wall-clock time: the wallclock
+// rule in internal/analysis bans time.Now from simulator packages, and all
+// scheduling math advances VTime deterministically from the event loop.
+type VTime float64
+
+// Seconds unwraps t to a raw float64 for formatting, CSV output, and
+// interop with packages outside the simulator core.
+func (t VTime) Seconds() float64 { return float64(t) }
+
+// Bytes is a virtual data volume in bytes — the unit of partition sizes,
+// memory capacities, and transfer/spill accounting.
+type Bytes int64
+
+// Int64 unwraps b to a raw int64 for interop with the data plane
+// (internal/dataset keeps raw int64 sizes) and for serialization.
+func (b Bytes) Int64() int64 { return int64(b) }
+
+// MB returns b in (decimal) megabytes. The workload cost knobs are
+// expressed per MB (graph.Operator.CostPerMB), and routing the conversion
+// through this method — rather than open-coded float64 casts — is the
+// sanctioned way to derive a dimensionless magnitude from a byte count
+// outside the cluster cost model.
+func (b Bytes) MB() float64 { return float64(b) / 1e6 }

@@ -1,0 +1,30 @@
+package sim
+
+import "testing"
+
+func TestVTimeArithmetic(t *testing.T) {
+	var a VTime = 1.5
+	a += 2.5 // untyped constants interoperate
+	if a != 4 {
+		t.Fatalf("VTime sum = %v, want 4", a)
+	}
+	if a.Seconds() != 4.0 {
+		t.Fatalf("Seconds() = %v, want 4.0", a.Seconds())
+	}
+	if max(VTime(1), VTime(2)) != 2 {
+		t.Fatalf("builtin max should work on VTime")
+	}
+}
+
+func TestBytesHelpers(t *testing.T) {
+	var b Bytes = 2_500_000
+	if b.Int64() != 2500000 {
+		t.Fatalf("Int64() = %d, want 2500000", b.Int64())
+	}
+	if b.MB() != 2.5 {
+		t.Fatalf("MB() = %v, want 2.5", b.MB())
+	}
+	if (b + 500_000).MB() != 3.0 {
+		t.Fatalf("Bytes addition broken")
+	}
+}

@@ -10,56 +10,60 @@ import (
 	"sort"
 )
 
+// The summary helpers are generic over any float64-representation type, so
+// they work directly on unit-typed quantities (e.g. []sim.VTime) as well as
+// raw []float64 without stripping the unit first.
+
 // Mean returns the arithmetic mean of xs (0 for empty input).
-func Mean(xs []float64) float64 {
+func Mean[F ~float64](xs []F) F {
 	if len(xs) == 0 {
 		return 0
 	}
-	s := 0.0
+	s := F(0)
 	for _, x := range xs {
 		s += x
 	}
-	return s / float64(len(xs))
+	return s / F(len(xs))
 }
 
 // Variance returns the population variance of xs.
-func Variance(xs []float64) float64 {
+func Variance[F ~float64](xs []F) F {
 	if len(xs) == 0 {
 		return 0
 	}
 	m := Mean(xs)
-	s := 0.0
+	s := F(0)
 	for _, x := range xs {
 		d := x - m
 		s += d * d
 	}
-	return s / float64(len(xs))
+	return s / F(len(xs))
 }
 
 // StdDev returns the population standard deviation of xs.
-func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+func StdDev[F ~float64](xs []F) F { return F(math.Sqrt(float64(Variance(xs)))) }
 
 // MinMax returns the minimum and maximum of xs; it panics on empty input.
-func MinMax(xs []float64) (lo, hi float64) {
+func MinMax[F ~float64](xs []F) (lo, hi F) {
 	if len(xs) == 0 {
 		panic("stats: MinMax of empty slice")
 	}
 	lo, hi = xs[0], xs[0]
 	for _, x := range xs[1:] {
-		lo = math.Min(lo, x)
-		hi = math.Max(hi, x)
+		lo = min(lo, x)
+		hi = max(hi, x)
 	}
 	return lo, hi
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of xs by linear
 // interpolation; it panics on empty input.
-func Quantile(xs []float64, q float64) float64 {
+func Quantile[F ~float64](xs []F, q float64) F {
 	if len(xs) == 0 {
 		panic("stats: Quantile of empty slice")
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
+	s := append([]F(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 	if q <= 0 {
 		return s[0]
 	}
@@ -68,7 +72,7 @@ func Quantile(xs []float64, q float64) float64 {
 	}
 	pos := q * float64(len(s)-1)
 	lo := int(math.Floor(pos))
-	frac := pos - float64(lo)
+	frac := F(pos - float64(lo))
 	if lo+1 >= len(s) {
 		return s[lo]
 	}
@@ -82,9 +86,9 @@ type Summary struct {
 }
 
 // Summarize computes a Summary over xs; it panics on empty input.
-func Summarize(xs []float64) Summary {
+func Summarize[F ~float64](xs []F) Summary {
 	lo, hi := MinMax(xs)
-	return Summary{Min: lo, Avg: Mean(xs), Max: hi}
+	return Summary{Min: float64(lo), Avg: float64(Mean(xs)), Max: float64(hi)}
 }
 
 // String implements fmt.Stringer.
@@ -94,12 +98,12 @@ func (s Summary) String() string {
 
 // Histogram counts xs into bins uniform bins over [lo, hi). Values outside
 // the range are clamped into the first or last bin.
-func Histogram(xs []float64, lo, hi float64, bins int) []int {
+func Histogram[F ~float64](xs []F, lo, hi F, bins int) []int {
 	if bins < 1 {
 		panic("stats: Histogram needs at least one bin")
 	}
 	counts := make([]int, bins)
-	width := (hi - lo) / float64(bins)
+	width := (hi - lo) / F(bins)
 	for _, x := range xs {
 		i := int((x - lo) / width)
 		if i < 0 {

@@ -18,7 +18,7 @@ func TestMeanVarianceStdDev(t *testing.T) {
 	if got := StdDev(xs); got != 2 {
 		t.Errorf("StdDev = %v, want 2", got)
 	}
-	if Mean(nil) != 0 || Variance(nil) != 0 {
+	if Mean[float64](nil) != 0 || Variance[float64](nil) != 0 {
 		t.Error("empty input should give 0")
 	}
 }
@@ -33,7 +33,7 @@ func TestMinMax(t *testing.T) {
 			t.Error("MinMax of empty slice should panic")
 		}
 	}()
-	MinMax(nil)
+	MinMax[float64](nil)
 }
 
 func TestQuantile(t *testing.T) {

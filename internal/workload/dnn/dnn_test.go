@@ -231,9 +231,9 @@ func TestIterativeMDFTerminatesDivergingRates(t *testing.T) {
 	// well below branches x epochs x per-epoch cost.
 	branches := len(p.Inits) * len(p.LearningRates) * len(p.Momenta)
 	fullCost := float64(branches*p.Epochs) * p.TrainCostSec
-	if res.Metrics.ComputeSec >= fullCost {
+	if res.Metrics.ComputeSec.Seconds() >= fullCost {
 		t.Errorf("compute %0.0fs should be below the no-termination bound %0.0fs",
-			res.Metrics.ComputeSec, fullCost)
+			res.Metrics.ComputeSec.Seconds(), fullCost)
 	}
 }
 

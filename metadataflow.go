@@ -251,7 +251,7 @@ type FamilyResult struct {
 }
 
 func familyResult(m *baseline.MultiResult) *FamilyResult {
-	return &FamilyResult{CompletionTime: m.CompletionTime, Jobs: len(m.Jobs), Metrics: m.Metrics}
+	return &FamilyResult{CompletionTime: m.CompletionTime.Seconds(), Jobs: len(m.Jobs), Metrics: m.Metrics}
 }
 
 // RunSequential expands the MDF into its family of concrete jobs and runs

@@ -127,7 +127,7 @@ func TestRunSequentialAndParallel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mdfRes.CompletionTime() >= seq.CompletionTime {
+	if mdfRes.CompletionTime().Seconds() >= seq.CompletionTime {
 		t.Errorf("MDF (%v) should beat sequential (%v)",
 			mdfRes.CompletionTime(), seq.CompletionTime)
 	}
