@@ -26,6 +26,7 @@ func main() {
 		seeds = flag.Int("seeds", 3, "runs per data point (paper uses 3)")
 		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		md    = flag.Bool("markdown", false, "emit a markdown table (for EXPERIMENTS.md)")
+		jsonF = flag.Bool("json", false, "write each experiment's data as BENCH_<exp>.json (schema-stable, with seeds and min/avg/max per cell)")
 		out   = flag.String("out", "", "also write each experiment's CSV into this directory")
 		list  = flag.Bool("list", false, "list available experiments")
 	)
@@ -78,6 +79,24 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+		}
+		if *jsonF {
+			// BENCH_<exp>.json lands next to the CSVs when -out is given,
+			// otherwise in the working directory.
+			data, err := tab.JSON(opts.SeedList())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			path := fmt.Sprintf("BENCH_%s.json", e.ID)
+			if *out != "" {
+				path = filepath.Join(*out, path)
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 		switch {
 		case *csv:

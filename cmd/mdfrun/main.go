@@ -8,6 +8,7 @@
 //	mdfrun -job timeseries -scheduler bas -policy amm -incremental
 //	mdfrun -job synthetic -scheduler bfs -policy lru -workers 12 -mem 4
 //	mdfrun -spec examples/specs/outlier.json
+//	mdfrun -job kde -trace-json trace.json -metrics metrics.json -explain
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"metadataflow/internal/faults"
 	"metadataflow/internal/graph"
 	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/obs"
 	"metadataflow/internal/scheduler"
 	"metadataflow/internal/sim"
 	"metadataflow/internal/spec"
@@ -44,13 +46,15 @@ func main() {
 		mode        = flag.String("mode", "mdf", "execution mode: mdf, sequential, or parallel:<k>")
 		seed        = flag.Int64("seed", 1, "workload seed")
 		trace       = flag.Bool("trace", false, "print the per-stage execution timeline")
-		traceJSON   = flag.String("trace-json", "", "write the timeline in Chrome Trace Event Format to this file")
+		traceJSON   = flag.String("trace-json", "", "write a multi-track Chrome trace (per-node tracks and counters) to this file")
+		metricsOut  = flag.String("metrics", "", "write the telemetry metrics snapshot as JSON to this file; mdf mode only")
+		explain     = flag.Bool("explain", false, "print the decision audit log (scheduler picks, evictions, choose selections, recovery); mdf mode only")
 		spills      = flag.Bool("spills", false, "print the top spilled datasets")
 		speculative = flag.Bool("speculative", false, "enable speculative straggler mitigation")
 		faultSpec   = flag.String("faults", "", "fault plan: inline JSON (starts with '{') or a path to a JSON file; mdf mode only")
 	)
 	flag.Parse()
-	if err := run(*job, *specPath, *sched, *policy, *incremental, *workers, *memGB, *mode, *seed, *trace, *traceJSON, *spills, *speculative, *faultSpec); err != nil {
+	if err := run(*job, *specPath, *sched, *policy, *incremental, *workers, *memGB, *mode, *seed, *trace, *traceJSON, *metricsOut, *explain, *spills, *speculative, *faultSpec); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		if errors.Is(err, errUsage) {
 			fmt.Fprintln(os.Stderr, "run 'mdfrun -h' for the accepted flag values")
@@ -85,7 +89,7 @@ func loadFaults(arg string) (*faults.Plan, error) {
 	return faults.Parse(data)
 }
 
-func run(job, specPath, sched, policy string, incremental bool, workers int, memGB int64, mode string, seed int64, trace bool, traceJSON string, spills, speculative bool, faultSpec string) error {
+func run(job, specPath, sched, policy string, incremental bool, workers int, memGB int64, mode string, seed int64, trace bool, traceJSON, metricsOut string, explain, spills, speculative bool, faultSpec string) error {
 	var g *graph.Graph
 	var err error
 	if specPath != "" {
@@ -145,6 +149,10 @@ func run(job, specPath, sched, policy string, incremental bool, workers int, mem
 	if fplan != nil && mode != "mdf" {
 		return usageErrorf("mdfrun: -faults is only supported in mdf mode")
 	}
+	telemetry := traceJSON != "" || metricsOut != "" || explain
+	if telemetry && mode != "mdf" {
+		return usageErrorf("mdfrun: -trace-json, -metrics, and -explain are only supported in mdf mode")
+	}
 
 	switch {
 	case mode == "mdf":
@@ -152,11 +160,17 @@ func run(job, specPath, sched, policy string, incremental bool, workers int, mem
 		if err != nil {
 			return err
 		}
-		runr, err := engine.NewRun(plan, engine.Options{
+		var rec *obs.Recorder
+		opts := engine.Options{
 			Cluster: cl, Policy: pol, Scheduler: newSched(),
-			Incremental: incremental, Trace: trace || traceJSON != "",
+			Incremental: incremental, Trace: trace,
 			Speculative: speculative, Faults: fplan,
-		}, 0)
+		}
+		if telemetry {
+			rec = obs.NewRecorder()
+			opts.Probe = rec
+		}
+		runr, err := engine.NewRun(plan, opts, 0)
 		if err != nil {
 			return err
 		}
@@ -192,10 +206,27 @@ func run(job, specPath, sched, policy string, incremental bool, workers int, mem
 				return err
 			}
 			defer f.Close()
-			if err := engine.WriteChromeTrace(f, res.Timeline); err != nil {
+			if err := rec.WriteChromeTrace(f); err != nil {
 				return err
 			}
-			fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing)\n", traceJSON)
+			fmt.Printf("wrote Chrome trace to %s (open in https://ui.perfetto.dev)\n", traceJSON)
+		}
+		if metricsOut != "" {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := runr.Snapshot().WriteJSON(f); err != nil {
+				return err
+			}
+			fmt.Printf("wrote metrics snapshot to %s\n", metricsOut)
+		}
+		if explain {
+			fmt.Println("\ndecision audit log:")
+			if err := rec.WriteDecisions(os.Stdout); err != nil {
+				return err
+			}
 		}
 	case mode == "sequential":
 		jobs, err := baseline.ExpandJobs(g)

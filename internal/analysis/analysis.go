@@ -20,7 +20,9 @@
 //     is the one sanctioned bytes→seconds conversion.
 //   - leakcheck:   paired resource methods stay balanced per package: a
 //     package that calls Allocator.Put must also call Discard somewhere,
-//     and every Pin needs an Unpin.
+//     every Pin needs an Unpin, and every telemetry SpanBegin needs a
+//     SpanEnd. Pairs are matched on concrete and interface receivers alike
+//     (the engine drives telemetry through the obs.Probe interface).
 //
 // The suite is built on the standard library toolchain only: go/parser for
 // syntax and go/types for semantics. The module under analysis is
@@ -145,6 +147,7 @@ func DefaultConfig() Config {
 			"internal/experiments",
 			"internal/faults",
 			"internal/mdf",
+			"internal/obs",
 		}},
 		SeededRand: RuleScope{Dirs: []string{"internal"}, IncludeTests: true},
 		MapOrder:   RuleScope{Dirs: []string{"internal"}},
@@ -157,6 +160,7 @@ func DefaultConfig() Config {
 			"internal/scheduler",
 			"internal/stats",
 			"internal/baseline",
+			"internal/obs",
 		}},
 		LeakCheck: RuleScope{Dirs: []string{"internal"}},
 
@@ -164,6 +168,7 @@ func DefaultConfig() Config {
 		LeakPairs: []LeakPair{
 			{Acquire: "Put", Release: "Discard"},
 			{Acquire: "Pin", Release: "Unpin"},
+			{Acquire: "SpanBegin", Release: "SpanEnd"},
 		},
 
 		WallclockFuncs: []string{

@@ -25,7 +25,9 @@ type LeakPair struct {
 //
 // Matching is type-accurate via go/types method selections: only calls of
 // methods declared on a named type from another package count, and the
-// receiver type must declare both sides of the pair. The declaring package
+// receiver type must declare both sides of the pair. Interface receivers
+// participate too — the engine acquires telemetry spans through the
+// obs.Probe interface, not a concrete recorder. The declaring package
 // itself is exempt (the allocator's own tests and helpers legitimately call
 // Put without Discard).
 func checkLeakCheck(pkg *Package, cfg Config) []Finding {
@@ -104,10 +106,16 @@ func namedRecv(t types.Type) *types.Named {
 	return named
 }
 
-// hasMethod reports whether the named type's (pointer) method set declares
-// a method with the given name.
+// hasMethod reports whether the named type's method set declares a method
+// with the given name. Concrete types are looked up through their pointer
+// method set (value and pointer receivers alike); interfaces are looked up
+// directly, since a pointer-to-interface has no methods at all.
 func hasMethod(named *types.Named, name string) bool {
-	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), name)
+	recv := types.Type(types.NewPointer(named))
+	if types.IsInterface(named) {
+		recv = named
+	}
+	obj, _, _ := types.LookupFieldOrMethod(recv, true, named.Obj().Pkg(), name)
 	_, ok := obj.(*types.Func)
 	return ok
 }

@@ -15,3 +15,9 @@ func Leak(b *pool.Buf) {
 func LeakAgain(b *pool.Buf) {
 	b.Put(2) // want:leakcheck
 }
+
+// LeakSpan opens a span through the interface and never closes one: the
+// pair is declared on pool.Probe's method set, not a concrete type.
+func LeakSpan(p pool.Probe) {
+	_ = p.SpanBegin("stage") // want:leakcheck
+}

@@ -18,3 +18,9 @@ func Done(b *pool.Buf) {
 	b.Discard(2)
 	b.Unpin(1)
 }
+
+// Spanned balances an interface-typed pair within the package.
+func Spanned(p pool.Probe) {
+	id := p.SpanBegin("stage")
+	p.SpanEnd(id)
+}

@@ -13,6 +13,14 @@ func (b *Buf) Discard(k int) { b.n-- }
 func (b *Buf) Pin(k int)   { b.n++ }
 func (b *Buf) Unpin(k int) { b.n-- }
 
+// Probe is an interface-typed resource: callers acquire spans through the
+// interface, never a concrete recorder, so leakcheck must match the pair on
+// the interface's method set.
+type Probe interface {
+	SpanBegin(name string) int
+	SpanEnd(id int)
+}
+
 // Fill calls Put with no Discard anywhere: legal in the declaring package,
 // whose helpers and tests manage the resource directly.
 func Fill(b *Buf) { b.Put(1) }

@@ -111,6 +111,15 @@ func (c Config) NetSec(bytes sim.Bytes) sim.VTime {
 	return sim.VTime(float64(bytes) / c.NetBW)
 }
 
+// Observer receives resource-occupancy reports from node timelines: every
+// interval a CPU, disk or network link is busy. The resource parameter is
+// one of "cpu", "disk", "net". The interface is declared here (not in
+// internal/obs) so the cluster stays dependency-free; obs.Recorder
+// satisfies it structurally.
+type Observer interface {
+	ResourceBusy(node int, resource string, start, end sim.VTime)
+}
+
 // Node is a simulated worker with three serial resources: a CPU, a disk and
 // a network link. Requests on a resource are served in arrival order.
 type Node struct {
@@ -131,6 +140,10 @@ type Node struct {
 	cpuFree  sim.VTime
 	diskFree sim.VTime
 	netFree  sim.VTime
+
+	// observer, when non-nil, is told about every busy interval on the
+	// node's resource timelines.
+	observer Observer
 }
 
 func (n *Node) scale(dur sim.VTime) sim.VTime {
@@ -192,6 +205,9 @@ func (n *Node) Alive() bool { return !n.dead }
 func (n *Node) CPU(ready, dur sim.VTime) sim.VTime {
 	start := max(ready, n.cpuFree)
 	n.cpuFree = start + n.scale(dur)
+	if n.observer != nil && n.cpuFree > start {
+		n.observer.ResourceBusy(n.ID, "cpu", start, n.cpuFree)
+	}
 	return n.cpuFree
 }
 
@@ -205,6 +221,9 @@ func (n *Node) Disk(ready, dur sim.VTime) sim.VTime {
 		d = sim.VTime(float64(d) * n.faultDisk)
 	}
 	n.diskFree = start + d
+	if n.observer != nil && n.diskFree > start {
+		n.observer.ResourceBusy(n.ID, "disk", start, n.diskFree)
+	}
 	return n.diskFree
 }
 
@@ -213,6 +232,9 @@ func (n *Node) Disk(ready, dur sim.VTime) sim.VTime {
 func (n *Node) Net(ready, dur sim.VTime) sim.VTime {
 	start := max(ready, n.netFree)
 	n.netFree = start + n.scale(dur)
+	if n.observer != nil && n.netFree > start {
+		n.observer.ResourceBusy(n.ID, "net", start, n.netFree)
+	}
 	return n.netFree
 }
 
@@ -245,6 +267,15 @@ func MustNew(cfg Config) *Cluster {
 		panic(err)
 	}
 	return c
+}
+
+// SetObserver installs (or, with nil, removes) the resource observer on
+// every node. Reset preserves it: the observer is telemetry plumbing, not
+// per-run state.
+func (c *Cluster) SetObserver(o Observer) {
+	for _, n := range c.Nodes {
+		n.observer = o
+	}
 }
 
 // Reset clears all resource timelines and every fault-injected per-node

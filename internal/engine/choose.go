@@ -5,6 +5,7 @@ import (
 
 	"metadataflow/internal/dataset"
 	"metadataflow/internal/graph"
+	"metadataflow/internal/obs"
 	"metadataflow/internal/scheduler"
 	"metadataflow/internal/sim"
 )
@@ -92,6 +93,7 @@ func (r *Run) evalBranch(chooseSt *graph.Stage, branch int, ready sim.VTime) err
 	}
 
 	r.trace(EventChooseEval, fmt.Sprintf("%s[b%d]", chooseSt, branch), ready, end)
+	r.spanNodes(obs.KindEval, fmt.Sprintf("%s[b%d]", chooseSt, branch), ready, nodeT)
 	if serr != nil {
 		// The evaluator kept panicking: the branch result cannot be
 		// scored, so the branch is quarantined and the choose proceeds
@@ -182,6 +184,7 @@ func (r *Run) skipStage(st *graph.Stage, t sim.VTime) {
 	r.stageEnd[st.ID] = t
 	r.metrics.StagesPruned++
 	r.trace(EventPruned, st.String(), t, t)
+	r.span(obs.NodeMaster, obs.KindPruned, st.String(), t, t)
 	delete(r.ready, st.ID)
 	for _, pre := range r.plan.Pre(st) {
 		if r.executed[pre.ID] {
@@ -251,12 +254,39 @@ func (r *Run) execChoose(st *graph.Stage) error {
 		for _, p := range out.Parts {
 			copied.Parts = append(copied.Parts, &dataset.Partition{Rows: p.Rows, VirtualBytes: p.VirtualBytes})
 		}
+		if r.probe != nil {
+			r.probe.RegisterDataset(int64(copied.ID), copied.Name)
+		}
 		end = r.storeOutput(copied, nodeT)
 		r.finalizeChooseInputs(st, cs, nil) // release all originals
 		r.registerOutput(st, copied)
 	}
 	r.markExecuted(st, ready, end)
 	r.trace(EventChoose, st.String(), ready, end)
+	r.span(obs.NodeMaster, obs.KindChoose, st.String(), ready, end)
+	if r.probe != nil {
+		// Audit the selection with every scored branch (Alg. 1's candidate
+		// scores); quarantined and pruned branches carry no score and are
+		// absent.
+		sel := make(map[int]bool, len(selected))
+		for _, b := range selected {
+			sel[b] = true
+		}
+		d := obs.Decision{
+			T: end, Node: obs.NodeMaster, Component: "engine", Kind: "choose",
+			Subject: st.String(),
+			Detail:  fmt.Sprintf("selected %d of %d branches", len(selected), len(pres)),
+		}
+		for b := range pres {
+			if !cs.offered[b] {
+				continue
+			}
+			d.Candidates = append(d.Candidates, obs.Candidate{
+				Label: fmt.Sprintf("%s[b%d]", st, b), Score: cs.scores[b], Chosen: sel[b],
+			})
+		}
+		r.probe.Decision(d)
+	}
 	return nil
 }
 

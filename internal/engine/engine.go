@@ -18,6 +18,7 @@ import (
 	"metadataflow/internal/faults"
 	"metadataflow/internal/graph"
 	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/obs"
 	"metadataflow/internal/scheduler"
 	"metadataflow/internal/sim"
 )
@@ -56,6 +57,13 @@ type Options struct {
 	// the first stage" ({node: 0}) is expressible without a sentinel.
 	// Setting a plan implies Checkpoint.
 	Faults *faults.Plan
+	// Probe, when non-nil, receives the run's unified telemetry: per-node
+	// task spans, per-node counter samples, and the decision audit log
+	// (scheduler picks, choose selections, evictions, fault recovery). The
+	// probe is threaded into the memory allocators, the scheduling policy
+	// and the cluster's resource timelines; nil disables all of it with no
+	// per-event cost.
+	Probe obs.Probe
 	// Checkpoint enables durable-copy awareness in the memory allocators
 	// and, under AMM, anticipatory checkpointing of consumed intermediates:
 	// background disk writes that overlap compute and cut the lineage
@@ -127,6 +135,8 @@ type Metrics struct {
 	BranchesQuarantined int
 	// RecoverySec is the virtual time spent in failure recovery.
 	RecoverySec sim.VTime
+	// RederivedBytes is the data volume restored by lineage re-derivation.
+	RederivedBytes sim.Bytes
 }
 
 // EventKind classifies a timeline event.
@@ -155,7 +165,7 @@ func (k EventKind) String() string {
 	case EventPruned:
 		return "pruned"
 	}
-	return "event"
+	return fmt.Sprintf("event%d", int(k))
 }
 
 // StageEvent is one entry of the execution timeline (recorded when
@@ -229,6 +239,9 @@ type Run struct {
 	// workers) for partitions rebalanced or re-derived after failures.
 	placement map[dataset.PartKey]int
 
+	// probe is the telemetry sink (Options.Probe); nil disables telemetry.
+	probe obs.Probe
+
 	metrics     Metrics
 	timeline    []StageEvent
 	quarantined []QuarantineRecord
@@ -243,6 +256,54 @@ func (r *Run) trace(kind EventKind, label string, start, end sim.VTime) {
 		return
 	}
 	r.timeline = append(r.timeline, StageEvent{Kind: kind, Stage: label, Start: start, End: end})
+}
+
+// span records one closed telemetry span; the immediate SpanBegin/SpanEnd
+// pairing keeps the probe's acquire/release balance trivially intact.
+func (r *Run) span(node int, kind obs.Kind, name string, start, end sim.VTime) {
+	if r.probe == nil {
+		return
+	}
+	id := r.probe.SpanBegin(node, kind, name, start)
+	r.probe.SpanEnd(id, end)
+}
+
+// spanNodes records one span per worker whose time cursor advanced past
+// start: the per-node attribution of a stage's work.
+func (r *Run) spanNodes(kind obs.Kind, name string, start sim.VTime, nodeT []sim.VTime) {
+	if r.probe == nil {
+		return
+	}
+	for n, t := range nodeT {
+		if t > start {
+			r.span(n, kind, name, start, t)
+		}
+	}
+}
+
+// decide appends one entry to the decision audit log.
+func (r *Run) decide(d obs.Decision) {
+	if r.probe != nil {
+		r.probe.Decision(d)
+	}
+}
+
+// observePick converts a scheduling pick into an audit-log decision with
+// the Alg. 1 candidate ranking (hint values, best first).
+func (r *Run) observePick(rec scheduler.PickRecord) {
+	d := obs.Decision{
+		T: r.now, Node: obs.NodeMaster, Component: "scheduler", Kind: "pick",
+		Subject: rec.Chosen.String(), Detail: "policy=" + r.opts.Scheduler.Name(),
+	}
+	if rec.DepthFirst {
+		d.Detail += " depth-first"
+	}
+	for _, st := range rec.Candidates {
+		d.Candidates = append(d.Candidates, obs.Candidate{
+			Label: st.String(), Score: st.First().Hint, Chosen: st == rec.Chosen,
+		})
+	}
+	r.probe.Decision(d)
 }
 
 type chooseState struct {
@@ -295,10 +356,22 @@ func NewRun(plan *graph.Plan, opts Options, start sim.VTime) (*Run, error) {
 		r.injector = faults.NewInjector(o.Faults)
 		r.retry = r.injector.Retry()
 	}
+	r.probe = o.Probe
 	for _, n := range o.Cluster.Nodes {
 		a := memorymgr.NewAllocator(n, o.Cluster.Config, o.MemPerWorker, o.Policy, r)
 		a.SetCheckpointing(r.checkpoint)
+		a.SetProbe(r.probe)
 		r.allocs = append(r.allocs, a)
+	}
+	if r.probe != nil {
+		if po, ok := o.Scheduler.(scheduler.PickObservable); ok {
+			po.SetPickObserver(r.observePick)
+		}
+		if co, ok := r.probe.(cluster.Observer); ok {
+			// Resource-occupancy spans: CPU/disk/net busy intervals become
+			// per-node resource tracks in the trace.
+			o.Cluster.SetObserver(co)
+		}
 	}
 	for _, st := range plan.SourceStages() {
 		r.ready[st.ID] = st
@@ -364,6 +437,9 @@ func (r *Run) Step() bool {
 	if len(ready) == 0 {
 		r.finish()
 		return false
+	}
+	if r.probe != nil {
+		r.probe.Counter(obs.NodeMaster, "sched.queue_depth", r.now, float64(len(ready)))
 	}
 	next := r.opts.Scheduler.Pick(ready, r.last)
 	delete(r.ready, next.ID)
@@ -533,6 +609,12 @@ func (r *Run) readyTime(st *graph.Stage) sim.VTime {
 
 // registerOutput records a produced dataset and its consumer count.
 func (r *Run) registerOutput(st *graph.Stage, d *dataset.Dataset) {
+	if r.probe != nil {
+		// Registration order is the deterministic production order, which
+		// gives the dataset its run-stable telemetry alias (raw IDs are
+		// process-global and differ between runs).
+		r.probe.RegisterDataset(int64(d.ID), d.Name)
+	}
 	r.stageOut[st.ID] = d
 	consumers := 0
 	for _, post := range r.plan.Post(st) {

@@ -6,6 +6,7 @@ import (
 
 	"metadataflow/internal/dataset"
 	"metadataflow/internal/graph"
+	"metadataflow/internal/obs"
 	"metadataflow/internal/sim"
 )
 
@@ -33,6 +34,7 @@ func (r *Run) execStage(st *graph.Stage) error {
 		r.consumeForward(d)
 		r.markExecuted(st, ready, ready)
 		r.trace(EventStage, st.String(), ready, ready)
+		r.span(obs.NodeMaster, obs.KindStage, st.String(), ready, ready)
 		return nil
 	}
 
@@ -105,6 +107,12 @@ func (r *Run) execStage(st *graph.Stage) error {
 	}
 
 	r.chargeCompute(ins, cpuFixed, cpuScan, nodeT)
+	if r.probe != nil {
+		// Register before storing: evictions triggered while the output's
+		// first partitions land may already name later partitions of this
+		// dataset in the audit log.
+		r.probe.RegisterDataset(int64(out.ID), out.Name)
+	}
 	end := r.storeOutput(out, nodeT)
 
 	for _, d := range ins {
@@ -113,6 +121,7 @@ func (r *Run) execStage(st *graph.Stage) error {
 	r.registerOutput(st, out)
 	r.markExecuted(st, ready, end)
 	r.trace(EventStage, st.String(), ready, end)
+	r.spanNodes(obs.KindStage, st.String(), ready, nodeT)
 
 	// Incremental choose evaluation (§3.1): if this stage completes a
 	// branch of an associative choose, score it immediately.

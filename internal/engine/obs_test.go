@@ -1,0 +1,253 @@
+package engine_test
+
+import (
+	"bytes"
+	"testing"
+
+	"metadataflow/internal/engine"
+	"metadataflow/internal/faults"
+	"metadataflow/internal/graph"
+	"metadataflow/internal/mdf"
+	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/obs"
+	"metadataflow/internal/scheduler"
+)
+
+// recordedRun executes the filter MDF with a fresh recorder attached and
+// returns the recorder and the run (for its snapshot).
+func recordedRun(t *testing.T, opts engine.Options) (*obs.Recorder, *engine.Run) {
+	t.Helper()
+	rec := obs.NewRecorder()
+	opts.Probe = rec
+	g := buildFilterMDF(t, mdf.Max(), mdf.SizeEvaluator())
+	plan, err := graph.BuildPlan(g)
+	if err != nil {
+		t.Fatalf("BuildPlan: %v", err)
+	}
+	run, err := engine.NewRun(plan, opts, 0)
+	if err != nil {
+		t.Fatalf("NewRun: %v", err)
+	}
+	if _, err := run.RunToCompletion(); err != nil {
+		t.Fatalf("RunToCompletion: %v", err)
+	}
+	return rec, run
+}
+
+func TestProbeRecordsPerNodeSpans(t *testing.T) {
+	rec, _ := recordedRun(t, engine.Options{
+		Cluster:     testCluster(1 << 30),
+		Policy:      memorymgr.AMM,
+		Scheduler:   scheduler.BAS(nil),
+		Incremental: true,
+	})
+
+	spans := rec.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	kinds := map[obs.Kind]bool{}
+	workerSpan := false
+	for _, s := range spans {
+		kinds[s.Kind] = true
+		if s.Node >= 0 && s.Kind == obs.KindStage {
+			workerSpan = true
+		}
+		if s.End < s.Start {
+			t.Errorf("span ends before it starts: %+v", s)
+		}
+	}
+	for _, k := range []obs.Kind{obs.KindStage, obs.KindEval, obs.KindChoose, obs.KindCPU, obs.KindDisk} {
+		if !kinds[k] {
+			t.Errorf("missing %q spans (kinds: %v)", k, kinds)
+		}
+	}
+	if !workerSpan {
+		t.Error("no stage span attributed to a worker node")
+	}
+
+	counterNames := map[string]bool{}
+	for _, c := range rec.CounterSamples() {
+		counterNames[c.Name] = true
+	}
+	for _, name := range []string{"sched.queue_depth", "mem.resident_bytes"} {
+		if !counterNames[name] {
+			t.Errorf("missing counter track %q (have %v)", name, counterNames)
+		}
+	}
+
+	decisionKinds := map[string]bool{}
+	for _, d := range rec.Decisions() {
+		decisionKinds[d.Component+"/"+d.Kind] = true
+	}
+	for _, k := range []string{"scheduler/pick", "engine/choose"} {
+		if !decisionKinds[k] {
+			t.Errorf("missing decision kind %q (have %v)", k, decisionKinds)
+		}
+	}
+}
+
+func TestChooseDecisionCarriesScores(t *testing.T) {
+	rec, _ := recordedRun(t, engine.Options{
+		Cluster:     testCluster(1 << 30),
+		Policy:      memorymgr.AMM,
+		Scheduler:   scheduler.BAS(nil),
+		Incremental: true,
+	})
+	var choose *obs.Decision
+	for _, d := range rec.Decisions() {
+		if d.Component == "engine" && d.Kind == "choose" {
+			choose = &d
+			break
+		}
+	}
+	if choose == nil {
+		t.Fatal("no choose decision recorded")
+	}
+	// All three branches are scored under max-selection; exactly one wins.
+	if len(choose.Candidates) != 3 {
+		t.Fatalf("choose candidates = %d, want 3", len(choose.Candidates))
+	}
+	chosen := 0
+	var bestScore float64
+	var chosenScore float64
+	for _, c := range choose.Candidates {
+		if c.Score > bestScore {
+			bestScore = c.Score
+		}
+		if c.Chosen {
+			chosen++
+			chosenScore = c.Score
+		}
+	}
+	if chosen != 1 {
+		t.Errorf("chosen candidates = %d, want 1", chosen)
+	}
+	if chosenScore != bestScore {
+		t.Errorf("max selection chose score %g, best was %g", chosenScore, bestScore)
+	}
+}
+
+func TestSnapshotSchema(t *testing.T) {
+	_, run := recordedRun(t, engine.Options{
+		Cluster:     testCluster(1 << 30),
+		Policy:      memorymgr.AMM,
+		Scheduler:   scheduler.BAS(nil),
+		Incremental: true,
+	})
+	s := run.Snapshot()
+	if s.Schema != obs.SnapshotSchema {
+		t.Errorf("schema = %q, want %q", s.Schema, obs.SnapshotSchema)
+	}
+	if s.CompletionSec <= 0 {
+		t.Errorf("completion = %v, want > 0", s.CompletionSec)
+	}
+	// Pin the counter name set: removing or renaming a counter is a schema
+	// change and must bump obs.SnapshotSchema.
+	want := []string{
+		"engine.branches_discarded", "engine.branches_pruned", "engine.choose_evals",
+		"engine.datasets_discarded", "engine.peak_live_datasets", "engine.stages_executed",
+		"engine.stages_pruned",
+		"faults.branches_quarantined", "faults.injected", "faults.node_crashes",
+		"faults.panics_injected", "faults.partitions_rebalanced", "faults.partitions_rederived",
+		"faults.rederived_bytes", "faults.retries", "faults.stages_reexecuted",
+		"mem.bytes_from_disk", "mem.bytes_from_mem", "mem.checkpointed_bytes",
+		"mem.checkpoints", "mem.evictions", "mem.hits", "mem.misses",
+		"mem.peak_resident_bytes", "mem.spilled_bytes",
+	}
+	if len(s.Counters) != len(want) {
+		t.Errorf("counters = %d, want %d", len(s.Counters), len(want))
+	}
+	for i, name := range want {
+		if i >= len(s.Counters) {
+			break
+		}
+		if s.Counters[i].Name != name {
+			t.Errorf("counter[%d] = %q, want %q", i, s.Counters[i].Name, name)
+		}
+	}
+	if v, ok := s.CounterValue("engine.choose_evals"); !ok || v != 3 {
+		t.Errorf("engine.choose_evals = %v, %v; want 3", v, ok)
+	}
+	if len(s.Nodes) != 4 {
+		t.Errorf("nodes = %d, want 4", len(s.Nodes))
+	}
+	for _, n := range s.Nodes {
+		if !n.Alive {
+			t.Errorf("node %d reported dead in a fault-free run", n.ID)
+		}
+		if n.CapacityBytes != 1<<30 {
+			t.Errorf("node %d capacity = %d", n.ID, n.CapacityBytes)
+		}
+	}
+	if len(s.Histograms) != 1 || s.Histograms[0].Name != "engine.stage_duration" {
+		t.Errorf("histograms = %+v", s.Histograms)
+	}
+	if s.Histograms[0].Count == 0 {
+		t.Error("stage-duration histogram is empty")
+	}
+}
+
+// TestEveryEvictionIsAudited pins the audit-log completeness invariant: the
+// mem.evictions counter and the memorymgr/evict decision stream must agree,
+// including spills of oversized partitions that bypass the policy entirely.
+func TestEveryEvictionIsAudited(t *testing.T) {
+	rec, run := recordedRun(t, engine.Options{
+		Cluster:     testCluster(16 << 20), // small enough that partitions overflow
+		Policy:      memorymgr.AMM,
+		Scheduler:   scheduler.BAS(nil),
+		Incremental: true,
+	})
+	evictions := run.Result().Metrics.Mem.Evictions
+	if evictions == 0 {
+		t.Fatal("workload produced no evictions; shrink the test cluster")
+	}
+	audited := int64(0)
+	for _, d := range rec.Decisions() {
+		if d.Component == "memorymgr" && d.Kind == "evict" {
+			audited++
+		}
+	}
+	if audited != evictions {
+		t.Errorf("%d evictions but %d evict decisions in the audit log", evictions, audited)
+	}
+}
+
+// telemetryArtifacts runs a faulty job with a recorder and serializes all
+// three artifacts: trace JSON, decision text, snapshot JSON.
+func telemetryArtifacts(t *testing.T) []byte {
+	t.Helper()
+	plan := faults.Generate(faults.GenConfig{Seed: 7, Workers: 4, Crashes: 2, EvalPanics: 1, MaxStage: 3})
+	rec, run := recordedRun(t, engine.Options{
+		Cluster:     testCluster(64 << 20), // small memory: forces evictions
+		Policy:      memorymgr.AMM,
+		Scheduler:   scheduler.BAS(nil),
+		Incremental: true,
+		Faults:      plan,
+	})
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if err := rec.WriteDecisions(&buf); err != nil {
+		t.Fatalf("WriteDecisions: %v", err)
+	}
+	if err := run.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestTelemetryByteIdenticalAcrossRuns(t *testing.T) {
+	// The whole point of virtual-time telemetry: the same seed produces the
+	// same bytes, even though dataset IDs (process-global counters) differ
+	// between the two runs.
+	a := telemetryArtifacts(t)
+	b := telemetryArtifacts(t)
+	if !bytes.Equal(a, b) {
+		t.Errorf("telemetry artifacts differ between identical runs:\n--- run 1 ---\n%.2000s\n--- run 2 ---\n%.2000s", a, b)
+	}
+	if !bytes.Contains(a, []byte(`"crash"`)) {
+		t.Error("snapshot fault history missing injected crashes")
+	}
+}

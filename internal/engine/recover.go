@@ -8,6 +8,7 @@ import (
 	"metadataflow/internal/faults"
 	"metadataflow/internal/graph"
 	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/obs"
 	"metadataflow/internal/sim"
 )
 
@@ -79,6 +80,11 @@ func (r *Run) runTransform(op *graph.Operator, in []*dataset.Dataset) (out *data
 		}
 		r.metrics.Retries++
 		penalty += sim.VTime(r.retry.Backoff(attempt))
+		r.decide(obs.Decision{
+			T: r.now, Node: obs.NodeMaster, Component: "faults", Kind: "retry",
+			Subject: op.Name,
+			Detail:  fmt.Sprintf("transform attempt %d of %d, backoff %gs", attempt, r.retry.MaxAttempts, r.retry.Backoff(attempt)),
+		})
 	}
 }
 
@@ -96,6 +102,11 @@ func (r *Run) runScore(op *graph.Operator, d *dataset.Dataset) (score float64, p
 		}
 		r.metrics.Retries++
 		penalty += sim.VTime(r.retry.Backoff(attempt))
+		r.decide(obs.Decision{
+			T: r.now, Node: obs.NodeMaster, Component: "faults", Kind: "retry",
+			Subject: op.Name,
+			Detail:  fmt.Sprintf("evaluator attempt %d of %d, backoff %gs", attempt, r.retry.MaxAttempts, r.retry.Backoff(attempt)),
+		})
 	}
 }
 
@@ -146,6 +157,14 @@ func (r *Run) liveAllocs() []int {
 // ones re-derived on their new home nodes.
 func (r *Run) onCrash(c faults.Crash) error {
 	r.metrics.NodeCrashes++
+	detail := "transient (process restart)"
+	if c.Permanent {
+		detail = "permanent (machine loss)"
+	}
+	r.decide(obs.Decision{
+		T: r.now, Node: c.Node, Component: "faults", Kind: "crash",
+		Subject: fmt.Sprintf("node %d", c.Node), Detail: detail,
+	})
 	alloc := r.allocs[c.Node]
 	if !c.Permanent {
 		lost := alloc.Crash()
@@ -168,6 +187,14 @@ func (r *Run) onCrash(c faults.Crash) error {
 			end = t
 		}
 		r.metrics.PartitionsRebalanced++
+	}
+	if len(checkpointed) > 0 {
+		r.decide(obs.Decision{
+			T: start, Node: c.Node, Component: "faults", Kind: "rebalance",
+			Subject: fmt.Sprintf("node %d", c.Node),
+			Detail:  fmt.Sprintf("%d checkpointed partitions adopted by survivors", len(checkpointed)),
+		})
+		r.span(obs.NodeMaster, obs.KindRecovery, fmt.Sprintf("rebalance node %d", c.Node), start, end)
 	}
 	if end > r.now {
 		r.metrics.RecoverySec += end - r.now
@@ -210,9 +237,25 @@ func (r *Run) rederive(lost []memorymgr.Lost) {
 		t = r.allocs[node].Put(l.Key, l.Bytes, t)
 		r.placement[l.Key] = node
 		r.metrics.PartitionsRederived++
+		r.metrics.RederivedBytes += l.Bytes
 		if t > end {
 			end = t
 		}
+	}
+	if r.probe != nil {
+		d := obs.Decision{
+			T: start, Node: obs.NodeMaster, Component: "faults", Kind: "rederive",
+			Subject: fmt.Sprintf("%d lost partitions", len(lost)),
+			Detail:  fmt.Sprintf("%d producing stages re-executed", len(reExecuted)),
+		}
+		for _, l := range lost {
+			d.Candidates = append(d.Candidates, obs.Candidate{
+				Label: r.probe.Label(int64(l.Key.Dataset), l.Key.Index),
+				Score: float64(l.Bytes), Chosen: true,
+			})
+		}
+		r.probe.Decision(d)
+		r.span(obs.NodeMaster, obs.KindRecovery, "rederive", start, end)
 	}
 	if end > r.now {
 		r.metrics.RecoverySec += end - r.now
@@ -232,6 +275,10 @@ func (r *Run) quarantine(chooseSt *graph.Stage, branch int, reason string) {
 	r.metrics.BranchesQuarantined++
 	r.quarantined = append(r.quarantined, QuarantineRecord{
 		Choose: chooseSt.String(), Branch: branch, Reason: reason,
+	})
+	r.decide(obs.Decision{
+		T: r.now, Node: obs.NodeMaster, Component: "faults", Kind: "quarantine",
+		Subject: fmt.Sprintf("%s[b%d]", chooseSt, branch), Detail: reason,
 	})
 	if scope := r.plan.ScopeOfChoose(chooseSt); scope != nil {
 		for _, st := range r.plan.BranchStages(scope, branch) {

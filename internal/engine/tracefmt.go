@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"metadataflow/internal/sim"
@@ -38,31 +39,80 @@ func WriteText(w io.Writer, timeline []StageEvent) error {
 	return nil
 }
 
-// chromeEvent is one entry of the Chrome Trace Event Format.
+// chromeEvent is one entry of the Chrome Trace Event Format. Structs (not
+// maps) keep JSON field order, and so the serialized bytes, deterministic.
 type chromeEvent struct {
 	Name  string `json:"name"`
-	Cat   string `json:"cat"`
+	Cat   string `json:"cat,omitempty"`
 	Phase string `json:"ph"`
 	// Ts and Dur are in microseconds; we map one virtual second to one
 	// millisecond so traces of thousand-second jobs stay navigable.
-	Ts  float64 `json:"ts"`
-	Dur float64 `json:"dur,omitempty"`
-	Pid int     `json:"pid"`
-	Tid int     `json:"tid"`
+	Ts   float64         `json:"ts"`
+	Dur  float64         `json:"dur,omitempty"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Args *chromeMetadata `json:"args,omitempty"`
+}
+
+// chromeMetadata is the args payload of "M" metadata events.
+type chromeMetadata struct {
+	Name string `json:"name"`
+}
+
+// chromeTraceFile is the top-level trace JSON document.
+type chromeTraceFile struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+// timelineKinds returns the event kinds present in the timeline: known
+// kinds first in declaration order, then any unknown kinds ascending.
+func timelineKinds(timeline []StageEvent) []EventKind {
+	present := map[EventKind]bool{}
+	for _, ev := range timeline {
+		present[ev.Kind] = true
+	}
+	known := []EventKind{EventStage, EventChooseEval, EventChoose, EventPruned}
+	kinds := make([]EventKind, 0, len(present))
+	for _, k := range known {
+		if present[k] {
+			kinds = append(kinds, k)
+			delete(present, k)
+		}
+	}
+	rest := make([]EventKind, 0, len(present))
+	for k := range present {
+		rest = append(rest, k)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	return append(kinds, rest...)
 }
 
 // WriteChromeTrace renders the timeline in Chrome Trace Event Format.
-// Events of each kind go to their own track (tid), instantaneous pruning
-// decisions become instant events.
+// Events of each kind go to their own track (tid), labeled with a
+// thread_name metadata event so viewers show the kind instead of a bare
+// number; instantaneous pruning decisions become instant events. Tracks are
+// derived from the kinds actually present, so a new EventKind gets its own
+// labeled track rather than collapsing onto tid 0.
+//
+// This is the legacy single-process view of Result.Timeline; the obs
+// package's Recorder renders the richer multi-track per-node trace.
 func WriteChromeTrace(w io.Writer, timeline []StageEvent) error {
 	const usPerVirtualSecond = 1000.0
-	tids := map[EventKind]int{
-		EventStage:      1,
-		EventChooseEval: 2,
-		EventChoose:     3,
-		EventPruned:     4,
+	tids := map[EventKind]int{}
+	events := make([]chromeEvent, 0, len(timeline)+4)
+	events = append(events, chromeEvent{
+		Name: "process_name", Phase: "M", Pid: 1, Tid: 0,
+		Args: &chromeMetadata{Name: "job"},
+	})
+	for i, k := range timelineKinds(timeline) {
+		tids[k] = i + 1
+		events = append(events, chromeEvent{
+			Name: "thread_name", Phase: "M", Pid: 1, Tid: i + 1,
+			Args: &chromeMetadata{Name: k.String()},
+		})
 	}
-	events := make([]chromeEvent, 0, len(timeline))
 	for _, ev := range timeline {
 		ce := chromeEvent{
 			Name: ev.Stage,
@@ -80,17 +130,18 @@ func WriteChromeTrace(w io.Writer, timeline []StageEvent) error {
 		events = append(events, ce)
 	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(map[string]any{
-		"traceEvents":     events,
-		"displayTimeUnit": "ms",
-		"otherData": map[string]string{
+	return enc.Encode(chromeTraceFile{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]string{
 			"note": "1 ms of trace time = 1 virtual cluster second",
 		},
 	})
 }
 
 // SummarizeTimeline aggregates the timeline into per-kind totals, a quick
-// profile of where virtual time went.
+// profile of where virtual time went. Every kind present is reported,
+// including kinds this version does not know by name.
 func SummarizeTimeline(timeline []StageEvent) string {
 	totals := map[EventKind]sim.VTime{}
 	counts := map[EventKind]int{}
@@ -99,10 +150,7 @@ func SummarizeTimeline(timeline []StageEvent) string {
 		counts[ev.Kind]++
 	}
 	var b strings.Builder
-	for _, k := range []EventKind{EventStage, EventChooseEval, EventChoose, EventPruned} {
-		if counts[k] == 0 {
-			continue
-		}
+	for _, k := range timelineKinds(timeline) {
 		fmt.Fprintf(&b, "%-7s %4d events  %10.2f virtual seconds (busy, overlapping)\n",
 			k, counts[k], totals[k])
 	}

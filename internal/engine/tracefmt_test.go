@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// fixedTimeline is a hand-built timeline exercising every known kind plus
+// one the formatter has never heard of.
+func fixedTimeline() []StageEvent {
+	return []StageEvent{
+		{Kind: EventStage, Stage: "s0 load", Start: 0, End: 10},
+		{Kind: EventChooseEval, Stage: "s1 choose[b0]", Start: 10, End: 14.5},
+		{Kind: EventChooseEval, Stage: "s1 choose[b1]", Start: 10, End: 12},
+		{Kind: EventPruned, Stage: "s2 agg", Start: 14.5, End: 14.5},
+		{Kind: EventChoose, Stage: "s1 choose", Start: 14.5, End: 15},
+		{Kind: EventKind(9), Stage: "mystery", Start: 15, End: 16},
+	}
+}
+
+// TestWriteChromeTraceGolden pins the exact serialized bytes of the legacy
+// Chrome trace. The golden file is the schema contract: any change to track
+// assignment, metadata events, or field order shows up as a diff here.
+// Regenerate deliberately with: go test ./internal/engine -run Golden -update
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, fixedTimeline()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output differs from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteChromeTraceTracks(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, fixedTimeline()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			Tid   int     `json:"tid"`
+			Dur   float64 `json:"dur"`
+			Args  struct {
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+
+	// Track names are declared via thread_name metadata, known kinds first,
+	// then the unknown kind on its own labeled track (not collapsed to 0).
+	trackName := map[int]string{}
+	tidOf := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Phase == "M" && ev.Name == "thread_name":
+			trackName[ev.Tid] = ev.Args.Name
+		case ev.Phase == "X" || ev.Phase == "i":
+			tidOf[ev.Name] = ev.Tid
+		}
+	}
+	wantTracks := map[int]string{1: "stage", 2: "eval", 3: "choose", 4: "pruned", 5: "event9"}
+	for tid, name := range wantTracks {
+		if trackName[tid] != name {
+			t.Errorf("track %d named %q, want %q", tid, trackName[tid], name)
+		}
+	}
+	if tidOf["mystery"] == 0 {
+		t.Errorf("unknown-kind event landed on tid 0: %v", tidOf)
+	}
+	if tidOf["mystery"] == tidOf["s0 load"] {
+		t.Error("unknown-kind event shares a track with stage events")
+	}
+
+	// Instant events must not carry a duration; complete events must.
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "i" && ev.Dur != 0 {
+			t.Errorf("instant event %q has dur %g", ev.Name, ev.Dur)
+		}
+		if ev.Phase == "X" && ev.Dur <= 0 {
+			t.Errorf("complete event %q has no duration", ev.Name)
+		}
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatalf("WriteChromeTrace(empty): %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Error("empty trace missing traceEvents array")
+	}
+}
+
+func TestSummarizeTimelineCoversUnknownKinds(t *testing.T) {
+	got := SummarizeTimeline(fixedTimeline())
+	for _, want := range []string{"stage", "eval", "choose", "pruned", "event9"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "2 events") {
+		t.Errorf("summary missing eval count:\n%s", got)
+	}
+	if SummarizeTimeline(nil) != "" {
+		t.Errorf("empty summary = %q, want empty", SummarizeTimeline(nil))
+	}
+}
+
+func TestWriteTextEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, nil); err != nil {
+		t.Fatalf("WriteText(empty): %v", err)
+	}
+	if !strings.Contains(buf.String(), "empty timeline") {
+		t.Errorf("empty timeline message missing: %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteText(&buf, fixedTimeline()); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"s0 load", "mystery", "event9"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text timeline missing %q:\n%s", want, out)
+		}
+	}
+}

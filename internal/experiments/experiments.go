@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -31,6 +32,10 @@ type Options struct {
 
 // DefaultOptions mirrors the paper's three-run protocol.
 func DefaultOptions() Options { return Options{Seeds: 3} }
+
+// SeedList returns the seeds each data point is averaged over, for
+// embedding in machine-readable output.
+func (o Options) SeedList() []int64 { return o.seeds() }
 
 func (o Options) seeds() []int64 {
 	n := o.Seeds
@@ -152,6 +157,72 @@ func (t *Table) CSV() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// BenchSchema versions the JSON document emitted by Table.JSON. Renaming or
+// removing a field is a schema change and must bump this string.
+const BenchSchema = "mdf.bench/v1"
+
+// benchCell is one (x, column) summary in the JSON document.
+type benchCell struct {
+	Min float64 `json:"min"`
+	Avg float64 `json:"avg"`
+	Max float64 `json:"max"`
+}
+
+// benchRow is one x-axis point in the JSON document.
+type benchRow struct {
+	X     string      `json:"x"`
+	Cells []benchCell `json:"cells"`
+}
+
+// benchDoc is the machine-readable form of one regenerated experiment.
+// Struct-typed fields keep JSON key order, and so the serialized bytes,
+// deterministic.
+type benchDoc struct {
+	Schema     string     `json:"schema"`
+	Experiment string     `json:"experiment"`
+	Title      string     `json:"title"`
+	XLabel     string     `json:"x_label"`
+	Unit       string     `json:"unit"`
+	Seeds      []int64    `json:"seeds"`
+	Columns    []string   `json:"columns"`
+	Rows       []benchRow `json:"rows"`
+}
+
+// JSON renders the table as an indented, schema-stable JSON document
+// (BenchSchema) carrying the experiment id, the data series with min/avg/max
+// per cell, and the seeds behind each data point. The same table serializes
+// to the same bytes.
+func (t *Table) JSON(seeds []int64) ([]byte, error) {
+	doc := benchDoc{
+		Schema:     BenchSchema,
+		Experiment: t.ID,
+		Title:      t.Title,
+		XLabel:     t.XLabel,
+		Unit:       t.Unit,
+		Seeds:      seeds,
+		Columns:    t.Columns,
+		Rows:       make([]benchRow, 0, len(t.Rows)),
+	}
+	if doc.Seeds == nil {
+		doc.Seeds = []int64{}
+	}
+	if doc.Columns == nil {
+		doc.Columns = []string{}
+	}
+	for _, r := range t.Rows {
+		row := benchRow{X: r.X, Cells: make([]benchCell, 0, len(r.Cells))}
+		for _, c := range r.Cells {
+			row.Cells = append(row.Cells, benchCell{Min: c.Min, Avg: c.Avg, Max: c.Max})
+		}
+		doc.Rows = append(doc.Rows, row)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
 }
 
 // Column returns the index of the named column, or -1.

@@ -1,8 +1,14 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"metadataflow/internal/faults"
+	"metadataflow/internal/obs"
+	"metadataflow/internal/stats"
 )
 
 func quick() Options { return Options{Seeds: 1, Quick: true} }
@@ -417,5 +423,78 @@ func TestTableMarkdown(t *testing.T) {
 	}
 	if lines := strings.Count(md, "\n"); lines < len(tab.Rows)+3 {
 		t.Errorf("markdown too short: %d lines", lines)
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tab := &Table{
+		ID: "figX", Title: "demo", XLabel: "n", Unit: "virtual seconds",
+		Columns: []string{"a", "b"},
+		Rows: []Row{
+			{X: "1", Cells: []stats.Summary{{Min: 1, Avg: 2, Max: 3}, {Min: 4, Avg: 4, Max: 4}}},
+		},
+	}
+	opts := Options{Seeds: 2}
+	data, err := tab.JSON(opts.SeedList())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema     string  `json:"schema"`
+		Experiment string  `json:"experiment"`
+		Seeds      []int64 `json:"seeds"`
+		Columns    []string
+		Rows       []struct {
+			X     string `json:"x"`
+			Cells []struct {
+				Min, Avg, Max float64
+			} `json:"cells"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("bench JSON does not parse: %v", err)
+	}
+	if doc.Schema != BenchSchema {
+		t.Errorf("schema = %q, want %q", doc.Schema, BenchSchema)
+	}
+	if doc.Experiment != "figX" || len(doc.Seeds) != 2 || doc.Seeds[1] != 2 {
+		t.Errorf("header = %+v", doc)
+	}
+	if len(doc.Rows) != 1 || len(doc.Rows[0].Cells) != 2 || doc.Rows[0].Cells[0].Avg != 2 {
+		t.Errorf("rows = %+v", doc.Rows)
+	}
+	again, err := tab.JSON(opts.SeedList())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("bench JSON is not byte-stable across serializations")
+	}
+}
+
+func TestCheckFaultSnapshot(t *testing.T) {
+	plan := &faults.Plan{Crashes: []faults.Crash{{Node: 0, AfterStages: 1}}}
+
+	ok := obs.NewSnapshot()
+	ok.AddCounter("faults.injected", 2)
+	ok.AddCounter("faults.node_crashes", 1)
+	ok.AddCounter("faults.partitions_rederived", 3)
+	ok.AddCounter("faults.rederived_bytes", 1<<20)
+	ok.Faults = append(ok.Faults, obs.FaultEvent{Kind: "crash", Node: 0})
+	if err := checkFaultSnapshot(ok, plan); err != nil {
+		t.Errorf("consistent snapshot rejected: %v", err)
+	}
+
+	silent := obs.NewSnapshot()
+	if err := checkFaultSnapshot(silent, plan); err == nil {
+		t.Error("snapshot with no injected faults accepted")
+	}
+
+	inconsistent := obs.NewSnapshot()
+	inconsistent.AddCounter("faults.injected", 1)
+	inconsistent.AddCounter("faults.node_crashes", 1)
+	inconsistent.AddCounter("faults.partitions_rederived", 3)
+	if err := checkFaultSnapshot(inconsistent, plan); err == nil {
+		t.Error("snapshot with re-derived partitions but zero bytes accepted")
 	}
 }

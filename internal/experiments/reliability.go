@@ -8,6 +8,7 @@ import (
 	"metadataflow/internal/faults"
 	"metadataflow/internal/graph"
 	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/obs"
 	"metadataflow/internal/scheduler"
 	"metadataflow/internal/stats"
 	"metadataflow/internal/workload/synthetic"
@@ -179,6 +180,37 @@ func Recovery(o Options) (*Table, error) {
 	return t, nil
 }
 
+// checkFaultSnapshot validates a faulty run against its telemetry snapshot:
+// the injected-fault counters must show the plan actually fired, and the
+// recovery counters must be self-consistent (re-derived partitions carry
+// re-derived bytes; every node crash appears in the fault history).
+func checkFaultSnapshot(s *obs.Snapshot, plan *faults.Plan) error {
+	counter := func(name string) int64 {
+		v, _ := s.CounterValue(name)
+		return v
+	}
+	if counter("faults.injected") == 0 {
+		return fmt.Errorf("fault plan fired no faults (snapshot faults.injected = 0)")
+	}
+	crashes := counter("faults.node_crashes")
+	if len(plan.Crashes) > 0 && crashes == 0 {
+		return fmt.Errorf("fault plan has %d crashes but snapshot faults.node_crashes = 0", len(plan.Crashes))
+	}
+	if rederived := counter("faults.partitions_rederived"); rederived > 0 && counter("faults.rederived_bytes") == 0 {
+		return fmt.Errorf("snapshot re-derived %d partitions but faults.rederived_bytes = 0", rederived)
+	}
+	var history int64
+	for _, ev := range s.Faults {
+		if ev.Kind == "crash" {
+			history++
+		}
+	}
+	if history != crashes {
+		return fmt.Errorf("snapshot fault history records %d crashes, counter says %d", history, crashes)
+	}
+	return nil
+}
+
 // Reliability sweeps a seeded fault plan — repeated node crashes plus one
 // panicking evaluator — against the fault rate, for every combination of
 // eviction policy (LRU vs AMM) and scheduler (BFS vs BAS). Each cell is the
@@ -250,6 +282,16 @@ func Reliability(o Options) (*Table, error) {
 		res, err := r.RunToCompletion()
 		if err != nil {
 			return 0, err
+		}
+		if plan != nil {
+			// A fault plan that silently fails to fire would make the
+			// overhead column measure noise. The telemetry snapshot is the
+			// supported surface for this check — the same counters mdfrun
+			// -metrics emits — so validate through it rather than reaching
+			// into engine internals.
+			if err := checkFaultSnapshot(r.Snapshot(), plan); err != nil {
+				return 0, fmt.Errorf("reliability: seed %d: %w", seed, err)
+			}
 		}
 		return res.CompletionTime().Seconds(), nil
 	}

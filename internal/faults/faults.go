@@ -296,6 +296,20 @@ func Generate(cfg GenConfig) *Plan {
 	return p
 }
 
+// Event records one delivered fault for telemetry: what was injected,
+// where, and any context. Events accumulate in injection order, which the
+// engine's deterministic run loop makes reproducible.
+type Event struct {
+	// Kind is "crash", "slowdown", "diskfault" or "panic".
+	Kind string
+	// Node is the afflicted worker (-1 for panics, which target operators).
+	Node int
+	// Op is the operator a panic was injected into; empty otherwise.
+	Op string
+	// Detail is free-form context (permanence, window factor, target).
+	Detail string
+}
+
 // Injector is the per-run consumer of a Plan: it tracks which crashes have
 // fired, which degradation windows have activated, and how many injected
 // panics each spec has left, so every fault is delivered exactly once.
@@ -307,6 +321,7 @@ type Injector struct {
 	diskSeen   []bool
 	panicLeft  []int
 	injected   int
+	history    []Event
 }
 
 // NewInjector prepares an injector for one run of the plan.
@@ -332,6 +347,15 @@ func (in *Injector) Retry() RetryPolicy { return in.retry }
 // fired, windows activated, and panics injected.
 func (in *Injector) Injected() int { return in.injected }
 
+// History returns the delivered fault events in injection order.
+func (in *Injector) History() []Event { return append([]Event(nil), in.history...) }
+
+// record appends one delivered fault to the history alongside the counter.
+func (in *Injector) record(ev Event) {
+	in.injected++
+	in.history = append(in.history, ev)
+}
+
 // DueCrashes returns the crashes whose triggers have been reached, marking
 // them fired.
 func (in *Injector) DueCrashes(stagesExecuted int, now float64) []Crash {
@@ -342,7 +366,11 @@ func (in *Injector) DueCrashes(stagesExecuted int, now float64) []Crash {
 		}
 		if stagesExecuted >= c.AfterStages && now >= c.At {
 			in.crashFired[i] = true
-			in.injected++
+			detail := "transient"
+			if c.Permanent {
+				detail = "permanent"
+			}
+			in.record(Event{Kind: "crash", Node: c.Node, Detail: detail})
 			due = append(due, c)
 		}
 	}
@@ -360,7 +388,7 @@ func (in *Injector) TransientFactors(node int, now float64) (slow, disk float64)
 		slow *= w.Factor
 		if !in.slowSeen[i] {
 			in.slowSeen[i] = true
-			in.injected++
+			in.record(Event{Kind: "slowdown", Node: w.Node, Detail: fmt.Sprintf("factor=%g", w.Factor)})
 		}
 	}
 	for i, w := range in.plan.DiskFaults {
@@ -370,7 +398,7 @@ func (in *Injector) TransientFactors(node int, now float64) (slow, disk float64)
 		disk *= w.Factor
 		if !in.diskSeen[i] {
 			in.diskSeen[i] = true
-			in.injected++
+			in.record(Event{Kind: "diskfault", Node: w.Node, Detail: fmt.Sprintf("factor=%g", w.Factor)})
 		}
 	}
 	return slow, disk
@@ -391,7 +419,7 @@ func (in *Injector) TakePanic(op string, target PanicTarget) bool {
 			continue
 		}
 		in.panicLeft[i]--
-		in.injected++
+		in.record(Event{Kind: "panic", Node: -1, Op: op, Detail: string(target)})
 		return true
 	}
 	return false

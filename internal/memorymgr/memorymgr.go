@@ -13,6 +13,7 @@ import (
 
 	"metadataflow/internal/cluster"
 	"metadataflow/internal/dataset"
+	"metadataflow/internal/obs"
 	"metadataflow/internal/sim"
 )
 
@@ -121,6 +122,10 @@ type Allocator struct {
 	// engine may call Checkpoint to write copies anticipatorily. Off by
 	// default so fault-free runs charge exactly the seed's costs.
 	checkpointing bool
+
+	// probe, when non-nil, receives residency counter samples and
+	// evict/checkpoint decisions with their Alg. 2 valuations.
+	probe obs.Probe
 }
 
 // NewAllocator creates an allocator with the given memory capacity on node.
@@ -140,6 +145,28 @@ func NewAllocator(node *cluster.Node, cfg cluster.Config, capacity sim.Bytes, po
 
 // Metrics returns the accumulated statistics.
 func (a *Allocator) Metrics() *Metrics { return &a.metrics }
+
+// SetProbe installs (or, with nil, removes) the telemetry probe.
+func (a *Allocator) SetProbe(p obs.Probe) { a.probe = p }
+
+// sampleResident reports the node's current resident bytes to the probe.
+func (a *Allocator) sampleResident(t sim.VTime) {
+	if a.probe != nil {
+		a.probe.Counter(a.node.ID, "mem.resident_bytes", t, float64(a.used))
+	}
+}
+
+// sampleSpilled reports the node's cumulative spill volume to the probe.
+func (a *Allocator) sampleSpilled(t sim.VTime) {
+	if a.probe != nil {
+		a.probe.Counter(a.node.ID, "mem.spilled_bytes", t, float64(a.metrics.SpilledBytes))
+	}
+}
+
+// label renders a run-stable partition label via the probe.
+func (a *Allocator) label(key dataset.PartKey) string {
+	return a.probe.Label(int64(key.Dataset), key.Index)
+}
 
 // SpilledByPartition returns the cumulative bytes spilled per partition at
 // this node, for spill attribution reports.
@@ -206,7 +233,18 @@ func (a *Allocator) Put(key dataset.PartKey, bytes sim.Bytes, t sim.VTime) sim.V
 		a.metrics.Evictions++
 		a.metrics.SpilledBytes += bytes
 		a.spilled[key] += bytes
-		return a.node.Disk(t, a.cfg.DiskWriteSec(bytes))
+		if a.probe != nil {
+			// No policy choice here — the partition cannot fit at all — but
+			// the audit log must still explain where the spill came from.
+			a.probe.Decision(obs.Decision{
+				T: t, Node: a.node.ID, Component: "memorymgr", Kind: "evict",
+				Subject: a.label(key),
+				Detail:  fmt.Sprintf("oversized: %d bytes exceed the %d-byte memory budget, written straight to disk", bytes, a.capacity),
+			})
+		}
+		end := a.node.Disk(t, a.cfg.DiskWriteSec(bytes))
+		a.sampleSpilled(end)
+		return end
 	}
 	t = a.makeRoom(bytes, t)
 	e.inMemory = true
@@ -215,7 +253,9 @@ func (a *Allocator) Put(key dataset.PartKey, bytes sim.Bytes, t sim.VTime) sim.V
 		a.metrics.PeakResidentBytes = a.used
 	}
 	a.touch(e, t)
-	return a.node.CPU(t, a.cfg.MemWriteSec(bytes))
+	end := a.node.CPU(t, a.cfg.MemWriteSec(bytes))
+	a.sampleResident(end)
+	return end
 }
 
 // Access reads a partition as operator input, returning the completion time
@@ -242,6 +282,7 @@ func (a *Allocator) Access(key dataset.PartKey, t sim.VTime) (end sim.VTime, hit
 		if a.used > a.metrics.PeakResidentBytes {
 			a.metrics.PeakResidentBytes = a.used
 		}
+		a.sampleResident(end)
 	}
 	a.touch(e, end)
 	return end, false, nil
@@ -293,7 +334,16 @@ func (a *Allocator) Checkpoint(key dataset.PartKey, t sim.VTime) sim.VTime {
 	e.onDisk = true
 	a.metrics.Checkpoints++
 	a.metrics.CheckpointedBytes += e.bytes
-	return a.node.Disk(t, a.cfg.DiskWriteSec(e.bytes))
+	end := a.node.Disk(t, a.cfg.DiskWriteSec(e.bytes))
+	if a.probe != nil {
+		a.probe.Decision(obs.Decision{
+			T: t, Node: a.node.ID, Component: "memorymgr", Kind: "checkpoint",
+			Subject: a.label(key),
+			Detail:  fmt.Sprintf("bytes=%d pref=%g", e.bytes, a.preference(e)),
+		})
+		a.probe.Counter(a.node.ID, "mem.checkpointed_bytes", end, float64(a.metrics.CheckpointedBytes))
+	}
+	return end
 }
 
 // Checkpointed reports whether the partition has a durable on-disk copy at
@@ -374,9 +424,12 @@ func sortLost(ls []Lost) {
 // writes for each spill, and returns the time at which room is available.
 func (a *Allocator) makeRoom(bytes sim.Bytes, t sim.VTime) sim.VTime {
 	for a.used+bytes > a.capacity {
-		victim := a.pickVictim()
+		victim, cands := a.pickVictim()
 		if victim == nil {
 			break // nothing evictable; allow transient over-commit
+		}
+		if a.probe != nil {
+			a.probe.Decision(a.evictDecision(victim, cands, t))
 		}
 		victim.inMemory = false
 		a.used -= victim.bytes
@@ -389,15 +442,48 @@ func (a *Allocator) makeRoom(bytes sim.Bytes, t sim.VTime) sim.VTime {
 		a.metrics.SpilledBytes += victim.bytes
 		a.spilled[victim.key] += victim.bytes
 		t = a.node.Disk(t, a.cfg.DiskWriteSec(victim.bytes))
+		a.sampleSpilled(t)
 	}
 	return t
 }
 
-// pickVictim chooses the partition to evict. Pinned partitions are spared
-// while any unpinned candidate exists. LRU picks the oldest access; AMM the
-// lowest preference acc(d)·δ(n,d)·α, breaking ties by LRU then key order for
-// determinism.
-func (a *Allocator) pickVictim() *entry {
+// preference computes the Alg. 2 valuation pre(d) = acc(d)·δ(n,d)·α of an
+// entry; under LRU the score reported instead is the last-access time.
+func (a *Allocator) preference(e *entry) float64 {
+	acc := 0
+	if a.acc != nil {
+		acc = a.acc.FutureAccesses(e.key)
+	}
+	return float64(acc) * float64(e.bytes) * a.alpha
+}
+
+// evictDecision describes one eviction for the audit log: the victim and
+// every candidate weighed, scored by the active policy (AMM preference or
+// LRU last-access age).
+func (a *Allocator) evictDecision(victim *entry, cands []*entry, t sim.VTime) obs.Decision {
+	d := obs.Decision{
+		T: t, Node: a.node.ID, Component: "memorymgr", Kind: "evict",
+		Subject: a.label(victim.key),
+		Detail:  fmt.Sprintf("policy=%s bytes=%d", a.policy, victim.bytes),
+	}
+	for _, e := range cands {
+		score := e.lastAccess.Seconds()
+		if a.policy == AMM {
+			score = a.preference(e)
+		}
+		d.Candidates = append(d.Candidates, obs.Candidate{
+			Label: a.label(e.key), Score: score, Chosen: e == victim,
+		})
+	}
+	return d
+}
+
+// pickVictim chooses the partition to evict, returning it with the sorted
+// candidate set it was chosen from (for decision auditing). Pinned
+// partitions are spared while any unpinned candidate exists. LRU picks the
+// oldest access; AMM the lowest preference acc(d)·δ(n,d)·α, breaking ties
+// by LRU then key order for determinism.
+func (a *Allocator) pickVictim() (*entry, []*entry) {
 	var cands []*entry
 	for _, e := range a.entries {
 		if e.inMemory && !e.pinned {
@@ -412,7 +498,7 @@ func (a *Allocator) pickVictim() *entry {
 		}
 	}
 	if len(cands) == 0 {
-		return nil
+		return nil, nil
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].key.Dataset != cands[j].key.Dataset {
@@ -424,16 +510,12 @@ func (a *Allocator) pickVictim() *entry {
 	case AMM:
 		best, bestPref, bestAge := cands[0], math.Inf(1), sim.VTime(math.Inf(1))
 		for _, e := range cands {
-			acc := 0
-			if a.acc != nil {
-				acc = a.acc.FutureAccesses(e.key)
-			}
-			pref := float64(acc) * float64(e.bytes) * a.alpha
+			pref := a.preference(e)
 			if pref < bestPref || (pref == bestPref && e.lastAccess < bestAge) {
 				best, bestPref, bestAge = e, pref, e.lastAccess
 			}
 		}
-		return best
+		return best, cands
 	default: // LRU
 		best := cands[0]
 		for _, e := range cands {
@@ -441,6 +523,6 @@ func (a *Allocator) pickVictim() *entry {
 				best = e
 			}
 		}
-		return best
+		return best, cands
 	}
 }

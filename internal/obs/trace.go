@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file renders a Recorder's spans and counter samples in the Chrome
+// Trace Event Format (the JSON consumed by chrome://tracing and
+// https://ui.perfetto.dev). Unlike the engine's legacy single-process
+// writer, the layout here is multi-track: one trace process (pid) per
+// simulated node plus one for the master, one named thread (tid) per span
+// kind present on that node, and "C" counter tracks for the per-node
+// counter samples. Track numbering is derived from the kinds actually
+// present, in a fixed rank order, so adding a new Kind never silently
+// collapses onto an existing track.
+
+// usPerVirtualSecond maps one virtual second to one millisecond of trace
+// time, keeping thousand-second jobs navigable in the viewer.
+const usPerVirtualSecond = 1000.0
+
+// kindRank fixes the display order of kind tracks within a node's process.
+// Kinds not listed sort after these, alphabetically.
+var kindRank = map[Kind]int{
+	KindStage:    0,
+	KindEval:     1,
+	KindChoose:   2,
+	KindPruned:   3,
+	KindRecovery: 4,
+	KindCPU:      5,
+	KindDisk:     6,
+	KindNet:      7,
+}
+
+// chromeEvent is one entry of the Chrome Trace Event Format. Args carries
+// the payload of "M" metadata events and "C" counter samples.
+type chromeEvent struct {
+	Name  string `json:"name"`
+	Cat   string `json:"cat,omitempty"`
+	Phase string `json:"ph"`
+	// Ts and Dur are in trace microseconds (see usPerVirtualSecond).
+	Ts   float64    `json:"ts"`
+	Dur  float64    `json:"dur,omitempty"`
+	Pid  int        `json:"pid"`
+	Tid  int        `json:"tid"`
+	Args *eventArgs `json:"args,omitempty"`
+}
+
+// eventArgs is the fixed-shape args payload: Name for metadata events,
+// Value for counter samples. A struct (not a map) keeps JSON field order
+// deterministic.
+type eventArgs struct {
+	Name  string   `json:"name,omitempty"`
+	Value *float64 `json:"value,omitempty"`
+}
+
+// pidOf maps a node index to its trace process: pid 1 is the master,
+// pid 2+i is worker i.
+func pidOf(node int) int {
+	if node == NodeMaster {
+		return 1
+	}
+	return 2 + node
+}
+
+// processLabel names a trace process for the process_name metadata event.
+func processLabel(node int) string {
+	if node == NodeMaster {
+		return "master"
+	}
+	return fmt.Sprintf("node %d", node)
+}
+
+// WriteChromeTrace renders the recorder's spans and counter samples as a
+// multi-track Chrome trace. Output is deterministic: events are grouped by
+// node then track, and within a track keep the recorder's call order
+// (which the engine derives from virtual time).
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	spans := r.Spans()
+	counters := r.CounterSamples()
+
+	// Discover the tracks present per node. Kind tracks come first in
+	// kindRank order, then counter tracks sorted by name.
+	kindsByNode := map[int]map[Kind]bool{}
+	countersByNode := map[int]map[string]bool{}
+	for _, s := range spans {
+		m := kindsByNode[s.Node]
+		if m == nil {
+			m = map[Kind]bool{}
+			kindsByNode[s.Node] = m
+		}
+		m[s.Kind] = true
+	}
+	for _, c := range counters {
+		m := countersByNode[c.Node]
+		if m == nil {
+			m = map[string]bool{}
+			countersByNode[c.Node] = m
+		}
+		m[c.Name] = true
+	}
+	nodeSet := map[int]bool{}
+	for n := range kindsByNode {
+		nodeSet[n] = true
+	}
+	for n := range countersByNode {
+		nodeSet[n] = true
+	}
+	nodes := make([]int, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+
+	kindTid := map[int]map[Kind]int{}
+	counterTid := map[int]map[string]int{}
+	events := make([]chromeEvent, 0, len(spans)+len(counters)+4*len(nodes))
+
+	for _, n := range nodes {
+		pid := pidOf(n)
+		events = append(events, chromeEvent{
+			Name: "process_name", Phase: "M", Pid: pid, Tid: 0,
+			Args: &eventArgs{Name: processLabel(n)},
+		})
+		kinds := make([]Kind, 0, len(kindsByNode[n]))
+		for k := range kindsByNode[n] {
+			kinds = append(kinds, k)
+		}
+		sort.Slice(kinds, func(i, j int) bool {
+			ri, iok := kindRank[kinds[i]]
+			rj, jok := kindRank[kinds[j]]
+			if iok != jok {
+				return iok // ranked kinds before unranked
+			}
+			if iok && ri != rj {
+				return ri < rj
+			}
+			return kinds[i] < kinds[j]
+		})
+		names := make([]string, 0, len(countersByNode[n]))
+		for name := range countersByNode[n] {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+
+		kindTid[n] = map[Kind]int{}
+		counterTid[n] = map[string]int{}
+		tid := 1
+		for _, k := range kinds {
+			kindTid[n][k] = tid
+			events = append(events, chromeEvent{
+				Name: "thread_name", Phase: "M", Pid: pid, Tid: tid,
+				Args: &eventArgs{Name: string(k)},
+			})
+			tid++
+		}
+		for _, name := range names {
+			counterTid[n][name] = tid
+			events = append(events, chromeEvent{
+				Name: "thread_name", Phase: "M", Pid: pid, Tid: tid,
+				Args: &eventArgs{Name: name},
+			})
+			tid++
+		}
+	}
+
+	for _, s := range spans {
+		ce := chromeEvent{
+			Name: s.Name,
+			Cat:  string(s.Kind),
+			Ts:   s.Start.Seconds() * usPerVirtualSecond,
+			Pid:  pidOf(s.Node),
+			Tid:  kindTid[s.Node][s.Kind],
+		}
+		if s.End > s.Start {
+			ce.Phase = "X"
+			ce.Dur = (s.End - s.Start).Seconds() * usPerVirtualSecond
+		} else {
+			ce.Phase = "i"
+		}
+		events = append(events, ce)
+	}
+	for _, c := range counters {
+		v := c.Value
+		events = append(events, chromeEvent{
+			Name:  c.Name,
+			Phase: "C",
+			Ts:    c.T.Seconds() * usPerVirtualSecond,
+			Pid:   pidOf(c.Node),
+			Tid:   counterTid[c.Node][c.Name],
+			Args:  &eventArgs{Value: &v},
+		})
+	}
+
+	return json.NewEncoder(w).Encode(traceFile{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData: otherData{
+			Note: "1 ms of trace time = 1 virtual cluster second",
+		},
+	})
+}
+
+// traceFile is the top-level trace JSON document. Structs (not maps) keep
+// field order, and therefore the serialized bytes, deterministic.
+type traceFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	OtherData       otherData     `json:"otherData"`
+}
+
+type otherData struct {
+	Note string `json:"note"`
+}

@@ -33,6 +33,26 @@ type Policy interface {
 	SortedBranches() bool
 }
 
+// PickRecord describes one scheduling decision for telemetry: the stage a
+// policy chose and the candidates it weighed, in the policy's preference
+// order with their hint values.
+type PickRecord struct {
+	// Chosen is the picked stage.
+	Chosen *graph.Stage
+	// Candidates are the stages the policy ranked, best first.
+	Candidates []*graph.Stage
+	// DepthFirst reports that BAS narrowed the pick to successors of the
+	// last executed stage (Alg. 1's depth-first preference).
+	DepthFirst bool
+}
+
+// PickObservable is implemented by policies that can report each Pick to an
+// observer. The engine installs its telemetry probe through this interface;
+// policies without it simply stay unobserved.
+type PickObservable interface {
+	SetPickObserver(func(PickRecord))
+}
+
 // Hint orders the candidate branches of an explore (§4.2: scheduling hints
 // derived from choose properties, domain knowledge, or learned models).
 type Hint interface {
@@ -130,11 +150,15 @@ func (h priorityHint) sortLess(out []*graph.Stage) func(i, j int) bool {
 func BFS() Policy { return &bfs{} }
 
 type bfs struct {
-	level map[int]int
+	level   map[int]int
+	observe func(PickRecord)
 }
 
 func (*bfs) Name() string         { return "BFS" }
 func (*bfs) SortedBranches() bool { return false }
+
+// SetPickObserver implements PickObservable.
+func (b *bfs) SetPickObserver(f func(PickRecord)) { b.observe = f }
 func (b *bfs) Init(p *graph.Plan) {
 	// Level = longest path from a source stage.
 	b.level = make(map[int]int, len(p.Stages))
@@ -157,6 +181,17 @@ func (b *bfs) Pick(ready []*graph.Stage, last *graph.Stage) *graph.Stage {
 			best = st
 		}
 	}
+	if b.observe != nil {
+		ranked := append([]*graph.Stage(nil), ready...)
+		sort.Slice(ranked, func(i, j int) bool {
+			li, lj := b.level[ranked[i].ID], b.level[ranked[j].ID]
+			if li != lj {
+				return li < lj
+			}
+			return ranked[i].ID < ranked[j].ID
+		})
+		b.observe(PickRecord{Chosen: best, Candidates: ranked})
+	}
 	return best
 }
 
@@ -170,13 +205,17 @@ func BAS(hint Hint) Policy {
 }
 
 type bas struct {
-	hint Hint
-	plan *graph.Plan
+	hint    Hint
+	plan    *graph.Plan
+	observe func(PickRecord)
 }
 
 func (b *bas) Name() string         { return "BAS" }
 func (b *bas) SortedBranches() bool { return b.hint.Sorted() }
 func (b *bas) Init(p *graph.Plan)   { b.plan = p }
+
+// SetPickObserver implements PickObservable.
+func (b *bas) SetPickObserver(f func(PickRecord)) { b.observe = f }
 
 // ObserveScore implements ScoreAware by forwarding evaluator scores to a
 // stateful hint.
@@ -203,8 +242,16 @@ func (b *bas) Pick(ready []*graph.Stage, last *graph.Stage) *graph.Stage {
 			}
 		}
 		if len(succ) > 0 {
-			return b.hint.Order(succ)[0]
+			ranked := b.hint.Order(succ)
+			if b.observe != nil {
+				b.observe(PickRecord{Chosen: ranked[0], Candidates: ranked, DepthFirst: true})
+			}
+			return ranked[0]
 		}
 	}
-	return b.hint.Order(ready)[0]
+	ranked := b.hint.Order(ready)
+	if b.observe != nil {
+		b.observe(PickRecord{Chosen: ranked[0], Candidates: ranked})
+	}
+	return ranked[0]
 }
