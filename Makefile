@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race experiments-quick fuzz-short ci clean
+.PHONY: all build test vet lint race experiments-quick fuzz-short chaos-short chaos ci clean
 
 all: build
 
@@ -35,8 +35,29 @@ fuzz-short:
 	$(GO) test ./internal/spec -run='^$$' -fuzz=FuzzParse -fuzztime=5s
 	$(GO) test ./internal/faults -run='^$$' -fuzz=FuzzParse -fuzztime=5s
 
+# chaos-short is the deterministic chaos gate: a fixed-seed 50-trial sweep
+# (random cluster + workload + fault plan per trial, golden-vs-faulted
+# oracles; see ARCHITECTURE.md "Chaos testing") run twice and compared
+# byte-for-byte, proving both that all oracles pass and that the harness and
+# the engine under it are deterministic. Part of ci.
+chaos-short: build
+	$(GO) run ./cmd/mdfchaos -trials 50 -seed 1 -repro .chaos-repro.json > .chaos-short-a.log
+	$(GO) run ./cmd/mdfchaos -trials 50 -seed 1 -repro .chaos-repro.json > .chaos-short-b.log
+	cmp .chaos-short-a.log .chaos-short-b.log
+	@tail -n 1 .chaos-short-a.log
+	@rm -f .chaos-short-a.log .chaos-short-b.log
+
+# chaos is the long randomized sweep for nightly runs; vary the seed to
+# explore new fault schedules: CHAOS_SEED=$$RANDOM make chaos. A violation
+# leaves a shrunk chaos-repro.json behind for replay with
+# `mdfchaos -replay` or `mdfrun -faults`.
+CHAOS_SEED ?= 1
+CHAOS_TRIALS ?= 1000
+chaos: build
+	$(GO) run ./cmd/mdfchaos -trials $(CHAOS_TRIALS) -seed $(CHAOS_SEED) -repro chaos-repro.json
+
 # ci is the gate a change must pass before merging.
-ci: vet lint build race experiments-quick
+ci: vet lint build race chaos-short experiments-quick
 
 clean:
 	$(GO) clean ./...

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"metadataflow/internal/baseline"
+	"metadataflow/internal/chaos"
 	"metadataflow/internal/cluster"
 	"metadataflow/internal/engine"
 	"metadataflow/internal/faults"
@@ -60,6 +61,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "run 'mdfrun -h' for the accepted flag values")
 			os.Exit(2)
 		}
+		if errors.Is(err, errOracle) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -68,25 +72,55 @@ func main() {
 // run; main exits 2 and points at -h for these.
 var errUsage = errors.New("invalid usage")
 
+// errOracle marks a replayed chaos repro whose oracle still fires; main
+// exits 3 so scripts can tell "violation reproduced" from ordinary failures.
+var errOracle = errors.New("oracle violation")
+
 func usageErrorf(format string, args ...any) error {
 	return fmt.Errorf("%w: "+format, append([]any{errUsage}, args...)...)
 }
 
 // loadFaults decodes the -faults argument: inline JSON when it starts with
-// '{', otherwise a file path.
-func loadFaults(arg string) (*faults.Plan, error) {
+// '{', otherwise a file path. Both bare fault plans and chaos repro files
+// (mdf.chaos-repro/v1) are accepted; a repro comes back as the second
+// return and replaces the normal run with an oracle replay.
+func loadFaults(arg string) (*faults.Plan, *chaos.Repro, error) {
 	if arg == "" {
-		return nil, nil
+		return nil, nil, nil
 	}
 	data := []byte(arg)
 	if !strings.HasPrefix(strings.TrimSpace(arg), "{") {
 		var err error
 		data, err = os.ReadFile(arg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return faults.Parse(data)
+	if chaos.IsRepro(data) {
+		r, err := chaos.ParseRepro(data)
+		return nil, r, err
+	}
+	p, err := faults.Parse(data)
+	return p, nil, err
+}
+
+// replayRepro re-runs a chaos repro's trial (its own cluster, workload, and
+// fault plan — the -job/-workers/-mem flags do not apply) and re-applies the
+// violated oracle. It returns errOracle when the violation still reproduces.
+func replayRepro(r *chaos.Repro) error {
+	vs, err := chaos.Replay(r)
+	if err != nil {
+		return err
+	}
+	if len(vs) == 0 {
+		fmt.Printf("chaos repro replay: oracle %s no longer violated (seed %d, %d workers, %d fault events)\n",
+			r.Oracle, r.Trial.Seed, r.Trial.Workers, r.Trial.Faults.NumEvents())
+		return nil
+	}
+	for _, v := range vs {
+		fmt.Printf("oracle %s violated: %s\n", v.Oracle, v.Detail)
+	}
+	return fmt.Errorf("%w: chaos repro reproduces: oracle %s, %d violation(s)", errOracle, vs[0].Oracle, len(vs))
 }
 
 func run(job, specPath, sched, policy string, incremental bool, workers int, memGB int64, mode string, seed int64, trace bool, traceJSON, metricsOut string, explain, spills, speculative bool, faultSpec string) error {
@@ -142,12 +176,15 @@ func run(job, specPath, sched, policy string, incremental bool, workers int, mem
 		}
 	}
 
-	fplan, err := loadFaults(faultSpec)
+	fplan, repro, err := loadFaults(faultSpec)
 	if err != nil {
-		return usageErrorf("mdfrun: bad -faults value: %v (want inline JSON starting with '{' or a path to a JSON fault plan)", err)
+		return usageErrorf("mdfrun: bad -faults value: %v (want inline JSON starting with '{' or a path to a JSON fault plan or chaos repro)", err)
 	}
-	if fplan != nil && mode != "mdf" {
+	if (fplan != nil || repro != nil) && mode != "mdf" {
 		return usageErrorf("mdfrun: -faults is only supported in mdf mode")
+	}
+	if repro != nil {
+		return replayRepro(repro)
 	}
 	telemetry := traceJSON != "" || metricsOut != "" || explain
 	if telemetry && mode != "mdf" {

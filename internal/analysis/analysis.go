@@ -146,6 +146,7 @@ func DefaultConfig() Config {
 			"internal/baseline",
 			"internal/experiments",
 			"internal/faults",
+			"internal/chaos",
 			"internal/mdf",
 			"internal/obs",
 		}},

@@ -1,0 +1,129 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"metadataflow/internal/engine"
+	"metadataflow/internal/faults"
+	"metadataflow/internal/graph"
+	"metadataflow/internal/mdf"
+	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/scheduler"
+)
+
+// runAudited executes the filter MDF and returns the run for auditing.
+func runAudited(t *testing.T, opts engine.Options) *engine.Run {
+	t.Helper()
+	g := buildFilterMDF(t, mdf.Max(), mdf.SizeEvaluator())
+	plan, err := graph.BuildPlan(g)
+	if err != nil {
+		t.Fatalf("BuildPlan: %v", err)
+	}
+	run, err := engine.NewRun(plan, opts, 0)
+	if err != nil {
+		t.Fatalf("NewRun: %v", err)
+	}
+	if _, err := run.RunToCompletion(); err != nil {
+		t.Fatalf("RunToCompletion: %v", err)
+	}
+	return run
+}
+
+func TestAuditsCleanOnFaultFreeRun(t *testing.T) {
+	run := runAudited(t, engine.Options{
+		Cluster:     testCluster(1 << 30),
+		Policy:      memorymgr.AMM,
+		Scheduler:   scheduler.BAS(nil),
+		Incremental: true,
+		PinReused:   true,
+	})
+	if v := run.AuditLineage(); len(v) != 0 {
+		t.Errorf("lineage violations on a clean run: %v", v)
+	}
+	if v := run.AuditAccounting(); len(v) != 0 {
+		t.Errorf("accounting violations on a clean run: %v", v)
+	}
+	sels := run.ChooseSelections()
+	if len(sels) != 1 {
+		t.Fatalf("choose selections = %v, want one choose stage", sels)
+	}
+	for _, sel := range sels {
+		if len(sel) != 1 {
+			t.Errorf("max selection kept %v, want one branch", sel)
+		}
+	}
+}
+
+func TestAuditsCleanAfterFaults(t *testing.T) {
+	plan := faults.MustGenerate(faults.GenConfig{
+		Seed: 21, Workers: 4, Crashes: 3, Permanent: 1, EvalPanics: 1, MaxStage: 4,
+	})
+	run := runAudited(t, engine.Options{
+		Cluster:     testCluster(16 << 20), // small: evictions + reloads under faults
+		Policy:      memorymgr.AMM,
+		Scheduler:   scheduler.BAS(nil),
+		Incremental: true,
+		PinReused:   true,
+		Faults:      plan,
+	})
+	if run.Result().Metrics.NodeCrashes == 0 {
+		t.Fatal("fault plan injected no crashes; the audit exercises nothing")
+	}
+	if v := run.AuditLineage(); len(v) != 0 {
+		t.Errorf("lineage violations after recovery: %v", v)
+	}
+	if v := run.AuditAccounting(); len(v) != 0 {
+		t.Errorf("accounting violations after recovery: %v", v)
+	}
+}
+
+func TestNewRunRejectsNegativeMemory(t *testing.T) {
+	g := buildFilterMDF(t, mdf.Max(), mdf.SizeEvaluator())
+	plan, err := graph.BuildPlan(g)
+	if err != nil {
+		t.Fatalf("BuildPlan: %v", err)
+	}
+	_, err = engine.NewRun(plan, engine.Options{
+		Cluster:      testCluster(1 << 30),
+		MemPerWorker: -1,
+		Scheduler:    scheduler.BAS(nil),
+	}, 0)
+	if err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("err = %v, want negative-budget rejection", err)
+	}
+}
+
+// panickySelector is a malformed user selection function: its session panics
+// on the first score offered. The engine must fail the run with an error
+// rather than let the panic kill the process — a chaos sweep feeding
+// generated workloads depends on that isolation.
+type panickySelector struct{}
+
+func (panickySelector) Name() string             { return "panicky" }
+func (panickySelector) Associative() bool        { return false }
+func (panickySelector) NonExhaustive() bool      { return false }
+func (panickySelector) Better(a, b float64) bool { return a > b }
+func (panickySelector) NewSession(total int) graph.ChooseSession {
+	return panickySession{}
+}
+
+type panickySession struct{}
+
+func (panickySession) Offer(branch int, score float64) ([]int, bool) {
+	panic("selection function bug")
+}
+func (panickySession) Selected() []int { return nil }
+
+func TestPanickingSelectorFailsRunGracefully(t *testing.T) {
+	g := buildFilterMDF(t, panickySelector{}, mdf.SizeEvaluator())
+	_, err := engine.Execute(g, engine.Options{
+		Cluster:     testCluster(1 << 30),
+		Policy:      memorymgr.AMM,
+		Scheduler:   scheduler.BAS(nil),
+		Incremental: true,
+	})
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("err = %v, want a run error reporting the selector panic", err)
+	}
+}

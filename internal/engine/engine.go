@@ -323,6 +323,9 @@ func NewRun(plan *graph.Plan, opts Options, start sim.VTime) (*Run, error) {
 	if o.Cluster == nil {
 		return nil, fmt.Errorf("engine: options need a cluster")
 	}
+	if o.MemPerWorker < 0 {
+		return nil, fmt.Errorf("engine: negative per-worker memory budget %d", o.MemPerWorker)
+	}
 	if err := o.Cluster.Validate(); err != nil {
 		return nil, err
 	}
@@ -444,13 +447,7 @@ func (r *Run) Step() bool {
 	next := r.opts.Scheduler.Pick(ready, r.last)
 	delete(r.ready, next.ID)
 
-	var err error
-	if next.IsChoose() {
-		err = r.execChoose(next)
-	} else {
-		err = r.execStage(next)
-	}
-	if err != nil {
+	if err := r.execGuarded(next); err != nil {
 		r.err = err
 		r.done = true
 		return false
@@ -472,6 +469,25 @@ func (r *Run) Step() bool {
 		return false
 	}
 	return true
+}
+
+// execGuarded dispatches the stage to its executor under recover(): a panic
+// escaping the per-operator retry machinery (a malformed spec reaching user
+// selector code, a chooser session misbehaving mid-run) fails the run with
+// an error instead of killing the process, so a bad generated input degrades
+// gracefully in a chaos sweep. Construction-time panics (graph builders, mdf
+// selector constructors with k < 1) are unaffected — they fire before a Run
+// exists and guard true internal invariants.
+func (r *Run) execGuarded(next *graph.Stage) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("engine: stage %s: unrecovered panic: %v", next, v)
+		}
+	}()
+	if next.IsChoose() {
+		return r.execChoose(next)
+	}
+	return r.execStage(next)
 }
 
 // applyFaults delivers the plan's due fault events at a scheduling boundary:

@@ -152,8 +152,9 @@ func TestSnapshotSchema(t *testing.T) {
 		"faults.panics_injected", "faults.partitions_rebalanced", "faults.partitions_rederived",
 		"faults.rederived_bytes", "faults.retries", "faults.stages_reexecuted",
 		"mem.bytes_from_disk", "mem.bytes_from_mem", "mem.checkpointed_bytes",
-		"mem.checkpoints", "mem.evictions", "mem.hits", "mem.misses",
-		"mem.peak_resident_bytes", "mem.spilled_bytes",
+		"mem.checkpoints", "mem.evictions", "mem.hits", "mem.live_partitions",
+		"mem.misses", "mem.peak_resident_bytes", "mem.pinned_partitions",
+		"mem.spilled_bytes",
 	}
 	if len(s.Counters) != len(want) {
 		t.Errorf("counters = %d, want %d", len(s.Counters), len(want))
@@ -217,7 +218,7 @@ func TestEveryEvictionIsAudited(t *testing.T) {
 // three artifacts: trace JSON, decision text, snapshot JSON.
 func telemetryArtifacts(t *testing.T) []byte {
 	t.Helper()
-	plan := faults.Generate(faults.GenConfig{Seed: 7, Workers: 4, Crashes: 2, EvalPanics: 1, MaxStage: 3})
+	plan := faults.MustGenerate(faults.GenConfig{Seed: 7, Workers: 4, Crashes: 2, EvalPanics: 1, MaxStage: 3})
 	rec, run := recordedRun(t, engine.Options{
 		Cluster:     testCluster(64 << 20), // small memory: forces evictions
 		Policy:      memorymgr.AMM,

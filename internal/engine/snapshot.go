@@ -37,6 +37,18 @@ func (r *Run) Snapshot() *obs.Snapshot {
 	s.AddCounter("mem.checkpointed_bytes", m.Mem.CheckpointedBytes.Int64())
 	s.AddCounter("mem.peak_resident_bytes", m.Mem.PeakResidentBytes.Int64())
 
+	// End-of-run residency audit counters: live_partitions is the number of
+	// partitions still tracked across all allocators, pinned_partitions the
+	// number still pinned. At completion the latter must be zero (pins
+	// balance); the chaos accounting oracle checks it through this snapshot.
+	pinned, tracked := 0, 0
+	for _, a := range r.allocs {
+		pinned += a.PinnedParts()
+		tracked += a.TrackedParts()
+	}
+	s.AddCounter("mem.pinned_partitions", int64(pinned))
+	s.AddCounter("mem.live_partitions", int64(tracked))
+
 	s.AddCounter("faults.injected", int64(m.FaultsInjected))
 	s.AddCounter("faults.node_crashes", int64(m.NodeCrashes))
 	s.AddCounter("faults.panics_injected", int64(m.PanicsInjected))

@@ -305,9 +305,12 @@ func Reliability(o Options) (*Table, error) {
 				if err != nil {
 					return 0, err
 				}
-				plan := faults.Generate(faults.GenConfig{
+				plan, err := faults.Generate(faults.GenConfig{
 					Seed: seed, Workers: 8, Crashes: rate, EvalPanics: 1, MaxStage: 4,
 				})
+				if err != nil {
+					return 0, err
+				}
 				faulty, err := run(seed, cfg, plan)
 				if err != nil {
 					return 0, err

@@ -35,6 +35,11 @@ type RetryPolicy struct {
 // (and to fault-free runs, which still isolate genuine operator panics).
 func DefaultRetry() RetryPolicy { return RetryPolicy{MaxAttempts: 3, BackoffSec: 1} }
 
+// WithDefaults returns the policy with zero fields filled from the default:
+// the effective policy an injector will apply. The chaos harness uses it to
+// compute retry backoff budgets for its bounded-overhead oracle.
+func (p RetryPolicy) WithDefaults() RetryPolicy { return p.withDefaults() }
+
 // withDefaults fills zero fields with the default policy.
 func (p RetryPolicy) withDefaults() RetryPolicy {
 	d := DefaultRetry()
@@ -237,38 +242,123 @@ func FromLegacy(failAfterStage, failNode int) *Plan {
 	return &Plan{Crashes: []Crash{{Node: failNode, AfterStages: failAfterStage}}}
 }
 
+// ConfigError reports a nonsensical GenConfig field. Generate returns it
+// instead of silently producing an empty or degenerate plan, so a chaos
+// harness feeding randomized configurations learns which draw was invalid.
+type ConfigError struct {
+	// Field names the offending GenConfig field.
+	Field string
+	// Reason explains what is wrong with its value.
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("faults: bad GenConfig.%s: %s", e.Field, e.Reason)
+}
+
 // GenConfig parameterises Generate.
 type GenConfig struct {
 	// Seed drives every random draw.
 	Seed int64
-	// Workers is the cluster size the plan targets.
+	// Workers is the cluster size the plan targets (>= 1).
 	Workers int
 	// Crashes is the number of node crashes to schedule.
 	Crashes int
 	// Permanent is how many of the crashes are permanent machine losses
-	// (capped at Workers-1 so the cluster survives).
+	// (clamped to Workers-1 so the cluster survives).
 	Permanent int
-	// EvalPanics is the number of single-shot evaluator panics to inject;
-	// each is retried once, so choose decisions are unaffected as long as
-	// the retry policy allows a second attempt.
-	EvalPanics int
+	// Correlated is how many additional transient crashes fire at the same
+	// trigger as an already scheduled crash but on a different node,
+	// modelling correlated failures (rack loss, shared power). Ignored when
+	// no crash is scheduled or the cluster has a single worker.
+	Correlated int
+	// Repeats is how many additional transient crashes re-hit a node that
+	// is already scheduled to crash, one stage after its previous crash —
+	// back-to-back failures of the same node within one recovery window.
+	// Ignored when no crash is scheduled.
+	Repeats int
+	// EvalPanics is the number of evaluator panics to inject and
+	// TransformPanics the number of transform/source panics; each spec
+	// injects PanicTimes failures.
+	EvalPanics      int
+	TransformPanics int
+	// PanicTimes is the injection count per panic spec. 0 selects 1, which
+	// is recoverable under the default 3-attempt retry policy, so choose
+	// decisions are unaffected.
+	PanicTimes int
+	// Slowdowns and DiskFaults are the numbers of transient degradation
+	// windows to schedule (whole-node and disk-only respectively).
+	Slowdowns  int
+	DiskFaults int
+	// MaxFactor bounds the degradation factors drawn in (1, MaxFactor].
+	// 0 selects 4; values in (0, 1] are rejected (degradation must degrade,
+	// or the harness's bounded-overhead oracle would be meaningless).
+	MaxFactor float64
+	// WindowSec bounds the degradation windows: starts are drawn in
+	// [0, WindowSec) and lengths in (0, WindowSec]. 0 selects 50; negative
+	// values (zero-length windows) are rejected.
+	WindowSec float64
 	// MaxStage bounds the crash triggers: each crash fires after a stage
 	// count drawn uniformly from [1, MaxStage]. 0 selects 20.
 	MaxStage int
 }
 
-// Generate derives a concrete fault plan from the seed: crash nodes and
-// trigger points are drawn from a deterministic RNG, so sweeping a fault
-// rate reduces to increasing GenConfig.Crashes while holding the seed.
-func Generate(cfg GenConfig) *Plan {
+// validate rejects nonsensical fields with a *ConfigError.
+func (cfg GenConfig) validate() error {
 	if cfg.Workers < 1 {
-		cfg.Workers = 1
+		return &ConfigError{"Workers", fmt.Sprintf("need at least one worker, have %d", cfg.Workers)}
+	}
+	counts := []struct {
+		name string
+		v    int
+	}{
+		{"Crashes", cfg.Crashes}, {"Permanent", cfg.Permanent},
+		{"Correlated", cfg.Correlated}, {"Repeats", cfg.Repeats},
+		{"EvalPanics", cfg.EvalPanics}, {"TransformPanics", cfg.TransformPanics},
+		{"PanicTimes", cfg.PanicTimes}, {"Slowdowns", cfg.Slowdowns},
+		{"DiskFaults", cfg.DiskFaults}, {"MaxStage", cfg.MaxStage},
+	}
+	for _, c := range counts {
+		if c.v < 0 {
+			return &ConfigError{c.name, fmt.Sprintf("negative count %d", c.v)}
+		}
+	}
+	if cfg.MaxFactor < 0 || (cfg.MaxFactor > 0 && cfg.MaxFactor <= 1) {
+		return &ConfigError{"MaxFactor", fmt.Sprintf("degradation factor bound must exceed 1, have %g", cfg.MaxFactor)}
+	}
+	if cfg.WindowSec < 0 {
+		return &ConfigError{"WindowSec", fmt.Sprintf("zero-length window bound %g", cfg.WindowSec)}
+	}
+	return nil
+}
+
+// Generate derives a concrete fault plan from the seed: crash nodes, trigger
+// points, degradation windows and panic budgets are drawn from a
+// deterministic RNG, so sweeping a fault rate reduces to increasing
+// GenConfig.Crashes while holding the seed. Nonsensical configurations
+// (negative rates, zero-length windows, factor bounds that do not degrade)
+// are rejected with a *ConfigError; counts exceeding the cluster size
+// (Permanent) are clamped as documented on the fields. The returned plan
+// always passes ValidateFor(cfg.Workers).
+func Generate(cfg GenConfig) (*Plan, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	if cfg.MaxStage < 1 {
 		cfg.MaxStage = 20
 	}
 	if cfg.Permanent > cfg.Workers-1 {
 		cfg.Permanent = cfg.Workers - 1
+	}
+	if cfg.PanicTimes < 1 {
+		cfg.PanicTimes = 1
+	}
+	if cfg.MaxFactor == 0 {
+		cfg.MaxFactor = 4
+	}
+	if cfg.WindowSec == 0 {
+		cfg.WindowSec = 50
 	}
 	rng := stats.NewRNG(cfg.Seed)
 	p := &Plan{Seed: cfg.Seed}
@@ -291,9 +381,82 @@ func Generate(cfg GenConfig) *Plan {
 		})
 	}
 	for i := 0; i < cfg.EvalPanics; i++ {
-		p.Panics = append(p.Panics, PanicSpec{Target: TargetEval, Times: 1})
+		p.Panics = append(p.Panics, PanicSpec{Target: TargetEval, Times: cfg.PanicTimes})
+	}
+	// Correlated crashes: a second node fails at the same trigger as an
+	// already scheduled crash. Skipped on single-worker clusters, where no
+	// distinct node exists.
+	if len(p.Crashes) > 0 && cfg.Workers > 1 {
+		for i := 0; i < cfg.Correlated; i++ {
+			base := p.Crashes[rng.Intn(len(p.Crashes))]
+			node := rng.Intn(cfg.Workers)
+			for node == base.Node {
+				node = (node + 1) % cfg.Workers
+			}
+			p.Crashes = append(p.Crashes, Crash{
+				Node: node, AfterStages: base.AfterStages, At: base.At,
+			})
+		}
+	}
+	// Repeated crashes: the same node fails again one stage after a prior
+	// (transient) crash, inside the recovery window of the first failure.
+	// Permanent crashes are not repeated — the node is already gone.
+	if cfg.Repeats > 0 {
+		var transient []Crash
+		for _, c := range p.Crashes {
+			if !c.Permanent {
+				transient = append(transient, c)
+			}
+		}
+		for i := 0; i < cfg.Repeats && len(transient) > 0; i++ {
+			base := transient[rng.Intn(len(transient))]
+			p.Crashes = append(p.Crashes, Crash{
+				Node: base.Node, AfterStages: base.AfterStages + 1, At: base.At,
+			})
+		}
+	}
+	window := func() Window {
+		from := rng.Float64() * cfg.WindowSec
+		length := rng.Float64() * cfg.WindowSec
+		if length <= 0 {
+			length = cfg.WindowSec
+		}
+		return Window{
+			Node:   rng.Intn(cfg.Workers),
+			From:   from,
+			To:     from + length,
+			Factor: 1 + rng.Float64()*(cfg.MaxFactor-1),
+		}
+	}
+	for i := 0; i < cfg.Slowdowns; i++ {
+		p.Slowdowns = append(p.Slowdowns, window())
+	}
+	for i := 0; i < cfg.DiskFaults; i++ {
+		p.DiskFaults = append(p.DiskFaults, window())
+	}
+	for i := 0; i < cfg.TransformPanics; i++ {
+		p.Panics = append(p.Panics, PanicSpec{Target: TargetTransform, Times: cfg.PanicTimes})
+	}
+	if err := p.ValidateFor(cfg.Workers); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustGenerate is Generate for configurations known to be valid; it panics
+// on a ConfigError. For tests and fixed experiment configurations.
+func MustGenerate(cfg GenConfig) *Plan {
+	p, err := Generate(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return p
+}
+
+// NumEvents returns the number of fault events the plan schedules: crashes,
+// degradation windows and panic specs. The chaos shrinker minimizes this.
+func (p *Plan) NumEvents() int {
+	return len(p.Crashes) + len(p.Slowdowns) + len(p.DiskFaults) + len(p.Panics)
 }
 
 // Event records one delivered fault for telemetry: what was injected,

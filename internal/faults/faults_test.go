@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -78,7 +79,7 @@ func TestFromLegacy(t *testing.T) {
 
 func TestGenerateDeterministicAndBounded(t *testing.T) {
 	cfg := GenConfig{Seed: 7, Workers: 4, Crashes: 5, Permanent: 2, EvalPanics: 1, MaxStage: 10}
-	a, b := Generate(cfg), Generate(cfg)
+	a, b := MustGenerate(cfg), MustGenerate(cfg)
 	if len(a.Crashes) != 5 || len(a.Panics) != 1 {
 		t.Fatalf("generated plan shape wrong: %+v", a)
 	}
@@ -101,6 +102,139 @@ func TestGenerateDeterministicAndBounded(t *testing.T) {
 	}
 	if len(perm) != 2 {
 		t.Fatalf("permanent crashes must hit distinct nodes, got %v", perm)
+	}
+}
+
+func TestGenerateRejectsNonsense(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   GenConfig
+		field string
+	}{
+		{"no workers", GenConfig{Workers: 0}, "Workers"},
+		{"negative workers", GenConfig{Workers: -2}, "Workers"},
+		{"negative crashes", GenConfig{Workers: 4, Crashes: -1}, "Crashes"},
+		{"negative permanent", GenConfig{Workers: 4, Permanent: -3}, "Permanent"},
+		{"negative correlated", GenConfig{Workers: 4, Correlated: -1}, "Correlated"},
+		{"negative repeats", GenConfig{Workers: 4, Repeats: -1}, "Repeats"},
+		{"negative eval panics", GenConfig{Workers: 4, EvalPanics: -1}, "EvalPanics"},
+		{"negative transform panics", GenConfig{Workers: 4, TransformPanics: -1}, "TransformPanics"},
+		{"negative panic times", GenConfig{Workers: 4, PanicTimes: -1}, "PanicTimes"},
+		{"negative slowdowns", GenConfig{Workers: 4, Slowdowns: -2}, "Slowdowns"},
+		{"negative disk faults", GenConfig{Workers: 4, DiskFaults: -2}, "DiskFaults"},
+		{"negative max stage", GenConfig{Workers: 4, MaxStage: -5}, "MaxStage"},
+		{"negative factor", GenConfig{Workers: 4, MaxFactor: -2}, "MaxFactor"},
+		{"non-degrading factor", GenConfig{Workers: 4, MaxFactor: 0.5}, "MaxFactor"},
+		{"factor exactly one", GenConfig{Workers: 4, MaxFactor: 1}, "MaxFactor"},
+		{"zero-length window", GenConfig{Workers: 4, WindowSec: -1}, "WindowSec"},
+	}
+	for _, c := range cases {
+		_, err := Generate(c.cfg)
+		var cerr *ConfigError
+		if !errors.As(err, &cerr) {
+			t.Errorf("%s: err = %v, want *ConfigError", c.name, err)
+			continue
+		}
+		if cerr.Field != c.field {
+			t.Errorf("%s: flagged field %q, want %q", c.name, cerr.Field, c.field)
+		}
+	}
+}
+
+func TestGenerateClampsExcessPermanent(t *testing.T) {
+	// Permanent crashes exceeding the cluster size are clamped to Workers-1
+	// so the generated plan always leaves a survivor.
+	p := MustGenerate(GenConfig{Seed: 1, Workers: 3, Crashes: 6, Permanent: 6})
+	perm := map[int]bool{}
+	for _, c := range p.Crashes {
+		if c.Permanent {
+			perm[c.Node] = true
+		}
+	}
+	if len(perm) != 2 {
+		t.Fatalf("permanent deaths = %d, want 2 (Workers-1)", len(perm))
+	}
+	if err := p.ValidateFor(3); err != nil {
+		t.Fatalf("clamped plan invalid: %v", err)
+	}
+}
+
+func TestGenerateCorrelatedAndRepeatedCrashes(t *testing.T) {
+	cfg := GenConfig{Seed: 11, Workers: 4, Crashes: 2, Correlated: 2, Repeats: 2, MaxStage: 6}
+	p := MustGenerate(cfg)
+	if got := len(p.Crashes); got != 6 {
+		t.Fatalf("crashes = %d, want 2 base + 2 correlated + 2 repeats", got)
+	}
+	base := p.Crashes[:2]
+	sameTrigger := func(a, b Crash) bool { return a.AfterStages == b.AfterStages && a.At == b.At }
+	for i, c := range p.Crashes[2:4] {
+		matched := false
+		for _, b := range base {
+			if sameTrigger(b, c) && b.Node != c.Node {
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("correlated crash %d = %+v does not share a trigger with a base crash on another node", i, c)
+		}
+	}
+	for i, c := range p.Crashes[4:6] {
+		matched := false
+		for _, b := range p.Crashes[:4] {
+			if b.Node == c.Node && c.AfterStages == b.AfterStages+1 && !b.Permanent {
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("repeat crash %d = %+v does not re-hit a transient crash one stage later", i, c)
+		}
+	}
+	if err := p.ValidateFor(4); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+}
+
+func TestGenerateWindowsAndPanics(t *testing.T) {
+	cfg := GenConfig{
+		Seed: 3, Workers: 4, Slowdowns: 3, DiskFaults: 2,
+		TransformPanics: 2, EvalPanics: 1, PanicTimes: 2,
+		MaxFactor: 5, WindowSec: 30,
+	}
+	p := MustGenerate(cfg)
+	if len(p.Slowdowns) != 3 || len(p.DiskFaults) != 2 {
+		t.Fatalf("windows = %d/%d, want 3/2", len(p.Slowdowns), len(p.DiskFaults))
+	}
+	for _, w := range append(append([]Window{}, p.Slowdowns...), p.DiskFaults...) {
+		if w.Factor <= 1 || w.Factor > 5 {
+			t.Errorf("window factor %g outside (1, 5]", w.Factor)
+		}
+		if w.To <= w.From {
+			t.Errorf("zero-length window generated: %+v", w)
+		}
+		if w.From < 0 || w.To > 60 {
+			t.Errorf("window [%g, %g) outside expected bounds", w.From, w.To)
+		}
+	}
+	if len(p.Panics) != 3 {
+		t.Fatalf("panics = %d, want 3", len(p.Panics))
+	}
+	evals, transforms := 0, 0
+	for _, ps := range p.Panics {
+		if ps.Times != 2 {
+			t.Errorf("panic times = %d, want 2", ps.Times)
+		}
+		switch ps.Target {
+		case TargetEval:
+			evals++
+		case TargetTransform:
+			transforms++
+		}
+	}
+	if evals != 1 || transforms != 2 {
+		t.Fatalf("panic targets = %d eval / %d transform, want 1/2", evals, transforms)
+	}
+	if p.NumEvents() != 3+2+3 {
+		t.Fatalf("NumEvents = %d, want 8", p.NumEvents())
 	}
 }
 

@@ -410,6 +410,62 @@ func (a *Allocator) AdoptSpilled(key dataset.PartKey, bytes sim.Bytes) {
 	a.entries[key] = &entry{key: key, bytes: bytes, onDisk: true}
 }
 
+// PinnedParts counts the partitions currently pinned at this node. At the
+// end of a run it must be zero: every Pin is matched by an Unpin or the
+// partition was discarded. The chaos harness audits this.
+func (a *Allocator) PinnedParts() int {
+	n := 0
+	for _, e := range a.entries {
+		if e.pinned {
+			n++
+		}
+	}
+	return n
+}
+
+// TrackedParts counts the partitions the allocator tracks (resident or on
+// disk).
+func (a *Allocator) TrackedParts() int { return len(a.entries) }
+
+// Keys returns the tracked partition keys in deterministic order, for
+// lineage audits that cross-check allocator contents against the engine's
+// placement map.
+func (a *Allocator) Keys() []dataset.PartKey {
+	keys := make([]dataset.PartKey, 0, len(a.entries))
+	for k := range a.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Dataset != keys[j].Dataset {
+			return keys[i].Dataset < keys[j].Dataset
+		}
+		return keys[i].Index < keys[j].Index
+	})
+	return keys
+}
+
+// CheckAccounting verifies the allocator's internal bookkeeping: the used
+// counter must equal the sum of resident entry sizes, and resident bytes
+// must not exceed the capacity budget. Returns nil when the books balance.
+// The chaos harness calls this after every run; it is the oracle that
+// catches incremental-accounting drift (a Discard or eviction forgetting to
+// release bytes) that the metrics counters alone cannot see.
+func (a *Allocator) CheckAccounting() error {
+	var resident sim.Bytes
+	for _, e := range a.entries {
+		if e.inMemory {
+			resident += e.bytes
+		}
+	}
+	if resident != a.used {
+		return fmt.Errorf("memorymgr: node %d used=%d but resident entries sum to %d", a.node.ID, a.used, resident)
+	}
+	if a.used > a.capacity {
+		return fmt.Errorf("memorymgr: node %d resident %d bytes exceed the %d-byte budget", a.node.ID, a.used, a.capacity)
+	}
+	return nil
+}
+
 // sortLost orders failure reports by key for deterministic recovery.
 func sortLost(ls []Lost) {
 	sort.Slice(ls, func(i, j int) bool {

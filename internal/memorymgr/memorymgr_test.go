@@ -20,6 +20,64 @@ func newAlloc(capacity sim.Bytes, policy PolicyKind, acc AccessCounter) (*Alloca
 	return NewAllocator(node, cluster.DefaultConfig(), capacity, policy, acc), node
 }
 
+func TestCheckAccountingBalancedAndAuditHelpers(t *testing.T) {
+	a, _ := newAlloc(2500, LRU, nil)
+	a.Put(key(1), 1000, 0)
+	a.Put(key(2), 1000, 1)
+	a.Put(key(3), 1000, 2) // evicts key(1)
+	a.Pin(key(2))
+	if err := a.CheckAccounting(); err != nil {
+		t.Fatalf("CheckAccounting on consistent state: %v", err)
+	}
+	if got := a.PinnedParts(); got != 1 {
+		t.Errorf("PinnedParts = %d, want 1", got)
+	}
+	if got := a.TrackedParts(); got != 3 {
+		t.Errorf("TrackedParts = %d, want 3", got)
+	}
+	keys := a.Keys()
+	if len(keys) != 3 {
+		t.Fatalf("Keys = %v, want 3 entries", keys)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i].Dataset < keys[i-1].Dataset {
+			t.Fatalf("Keys not sorted: %v", keys)
+		}
+	}
+	a.Unpin(key(2))
+	a.Discard(key(2))
+	if got := a.PinnedParts(); got != 0 {
+		t.Errorf("PinnedParts after unpin+discard = %d, want 0", got)
+	}
+	if err := a.CheckAccounting(); err != nil {
+		t.Fatalf("CheckAccounting after discard: %v", err)
+	}
+}
+
+// TestCheckAccountingCatchesCorruption corrupts the allocator's internals
+// the way a bookkeeping bug would — the test double behind the chaos
+// harness's accounting oracle. Both drift modes must be detected: the used
+// counter disagreeing with the resident entries, and resident bytes
+// exceeding the capacity budget.
+func TestCheckAccountingCatchesCorruption(t *testing.T) {
+	a, _ := newAlloc(2500, LRU, nil)
+	a.Put(key(1), 1000, 0)
+
+	// Drift: a Discard that forgot to release its bytes.
+	a.used += 500
+	if err := a.CheckAccounting(); err == nil {
+		t.Fatal("used/resident drift not detected")
+	}
+	a.used -= 500
+
+	// Over-budget residency: an eviction that never happened.
+	a.entries[key(1)].bytes = 3000
+	a.used = 3000
+	if err := a.CheckAccounting(); err == nil {
+		t.Fatal("over-budget residency not detected")
+	}
+}
+
 func TestPutAndAccessHit(t *testing.T) {
 	a, _ := newAlloc(1<<20, LRU, nil)
 	a.Put(key(1), 1000, 0)

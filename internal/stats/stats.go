@@ -165,6 +165,10 @@ func (g *RNG) Normal(mean, std float64) float64 { return mean + std*g.r.NormFloa
 // Intn returns a uniform integer in [0, n).
 func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
 
+// Int63 returns a uniform non-negative 63-bit integer, for deriving child
+// seeds.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
 // Perm returns a random permutation of [0, n).
 func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
 
