@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race experiments-quick fuzz-short chaos-short chaos ci clean
+.PHONY: all build test vet lint race experiments-quick fuzz-short chaos-short chaos serve-short bench-baseline ci clean
 
 all: build
 
@@ -56,8 +56,26 @@ CHAOS_TRIALS ?= 1000
 chaos: build
 	$(GO) run ./cmd/mdfchaos -trials $(CHAOS_TRIALS) -seed $(CHAOS_SEED) -repro chaos-repro.json
 
+# serve-short exercises the mdfserve service layer: admission control,
+# quotas, deadlines, quarantine, drain/checkpoint and the HTTP surface
+# (see ARCHITECTURE.md "Service layer"). Part of ci.
+serve-short:
+	$(GO) test ./internal/service -count=1
+
+# bench-baseline regenerates the committed BENCH_<exp>.json baselines and
+# fails if the bytes drift: a performance- or determinism-affecting change
+# must regenerate the baselines in the same commit. Part of ci.
+bench-baseline: build
+	cp BENCH_stragglers.json .bench-stragglers.prev.json
+	cp BENCH_recovery.json .bench-recovery.prev.json
+	$(GO) run ./cmd/mdfbench -exp stragglers -quick -seeds 1 -json
+	$(GO) run ./cmd/mdfbench -exp recovery -quick -seeds 1 -json
+	cmp BENCH_stragglers.json .bench-stragglers.prev.json
+	cmp BENCH_recovery.json .bench-recovery.prev.json
+	@rm -f .bench-stragglers.prev.json .bench-recovery.prev.json
+
 # ci is the gate a change must pass before merging.
-ci: vet lint build race chaos-short experiments-quick
+ci: vet lint build race chaos-short experiments-quick serve-short bench-baseline
 
 clean:
 	$(GO) clean ./...

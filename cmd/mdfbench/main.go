@@ -10,10 +10,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"metadataflow/internal/experiments"
@@ -48,7 +52,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := experiments.Options{Seeds: *seeds, Quick: *quick}
+	// SIGINT/SIGTERM cancel the sweep between seeded runs: experiments that
+	// already completed keep their flushed artifacts, the in-flight one is
+	// abandoned without a partial file, and the process exits 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := experiments.Options{Seeds: *seeds, Quick: *quick, Ctx: ctx}
 	var selected []experiments.Experiment
 	if *exp == "all" {
 		selected = experiments.Registry()
@@ -71,6 +81,9 @@ func main() {
 		tab, err := e.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			if errors.Is(err, experiments.ErrInterrupted) {
+				os.Exit(130)
+			}
 			os.Exit(1)
 		}
 		if *out != "" {

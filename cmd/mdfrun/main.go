@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"metadataflow/internal/baseline"
 	"metadataflow/internal/chaos"
@@ -55,7 +58,12 @@ func main() {
 		faultSpec   = flag.String("faults", "", "fault plan: inline JSON (starts with '{') or a path to a JSON file; mdf mode only")
 	)
 	flag.Parse()
-	if err := run(*job, *specPath, *sched, *policy, *incremental, *workers, *memGB, *mode, *seed, *trace, *traceJSON, *metricsOut, *explain, *spills, *speculative, *faultSpec); err != nil {
+	// SIGINT/SIGTERM cancel the run at its next scheduling boundary; the
+	// partial artifacts (-trace-json, -metrics) are still flushed and the
+	// process exits with the conventional interrupt status 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *job, *specPath, *sched, *policy, *incremental, *workers, *memGB, *mode, *seed, *trace, *traceJSON, *metricsOut, *explain, *spills, *speculative, *faultSpec); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		if errors.Is(err, errUsage) {
 			fmt.Fprintln(os.Stderr, "run 'mdfrun -h' for the accepted flag values")
@@ -63,6 +71,9 @@ func main() {
 		}
 		if errors.Is(err, errOracle) {
 			os.Exit(3)
+		}
+		if errors.Is(err, errInterrupted) {
+			os.Exit(130)
 		}
 		os.Exit(1)
 	}
@@ -75,6 +86,11 @@ var errUsage = errors.New("invalid usage")
 // errOracle marks a replayed chaos repro whose oracle still fires; main
 // exits 3 so scripts can tell "violation reproduced" from ordinary failures.
 var errOracle = errors.New("oracle violation")
+
+// errInterrupted marks a run canceled by SIGINT/SIGTERM; main exits 130
+// (the conventional status for death-by-interrupt) after the partial
+// artifacts have been flushed.
+var errInterrupted = errors.New("interrupted")
 
 func usageErrorf(format string, args ...any) error {
 	return fmt.Errorf("%w: "+format, append([]any{errUsage}, args...)...)
@@ -123,7 +139,7 @@ func replayRepro(r *chaos.Repro) error {
 	return fmt.Errorf("%w: chaos repro reproduces: oracle %s, %d violation(s)", errOracle, vs[0].Oracle, len(vs))
 }
 
-func run(job, specPath, sched, policy string, incremental bool, workers int, memGB int64, mode string, seed int64, trace bool, traceJSON, metricsOut string, explain, spills, speculative bool, faultSpec string) error {
+func run(ctx context.Context, job, specPath, sched, policy string, incremental bool, workers int, memGB int64, mode string, seed int64, trace bool, traceJSON, metricsOut string, explain, spills, speculative bool, faultSpec string) error {
 	var g *graph.Graph
 	var err error
 	if specPath != "" {
@@ -202,6 +218,7 @@ func run(job, specPath, sched, policy string, incremental bool, workers int, mem
 			Cluster: cl, Policy: pol, Scheduler: newSched(),
 			Incremental: incremental, Trace: trace,
 			Speculative: speculative, Faults: fplan,
+			Context: ctx,
 		}
 		if telemetry {
 			rec = obs.NewRecorder()
@@ -212,8 +229,15 @@ func run(job, specPath, sched, policy string, incremental bool, workers int, mem
 			return err
 		}
 		res, err := runr.RunToCompletion()
-		if err != nil {
+		interrupted := err != nil && errors.Is(err, context.Canceled)
+		if err != nil && !interrupted {
 			return err
+		}
+		if interrupted {
+			// The partial result and telemetry stay readable; flush every
+			// requested artifact before exiting 130.
+			fmt.Fprintln(os.Stderr, "mdfrun: interrupted, flushing partial artifacts")
+			res = runr.Result()
 		}
 		report(res.CompletionTime().Seconds(), &res.Metrics, 1)
 		if fplan != nil {
@@ -265,13 +289,19 @@ func run(job, specPath, sched, policy string, incremental bool, workers int, mem
 				return err
 			}
 		}
+		if interrupted {
+			return errInterrupted
+		}
 	case mode == "sequential":
 		jobs, err := baseline.ExpandJobs(g)
 		if err != nil {
 			return err
 		}
-		res, err := baseline.Sequential(jobs, baseline.Config{Cluster: cl, Policy: pol})
+		res, err := baseline.Sequential(jobs, baseline.Config{Cluster: cl, Policy: pol, Context: ctx})
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return fmt.Errorf("%w: %v", errInterrupted, err)
+			}
 			return err
 		}
 		report(res.CompletionTime.Seconds(), &res.Metrics, len(res.Jobs))
@@ -284,8 +314,11 @@ func run(job, specPath, sched, policy string, incremental bool, workers int, mem
 		if err != nil {
 			return err
 		}
-		res, err := baseline.Parallel(jobs, k, baseline.Config{Cluster: cl, Policy: pol})
+		res, err := baseline.Parallel(jobs, k, baseline.Config{Cluster: cl, Policy: pol, Context: ctx})
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return fmt.Errorf("%w: %v", errInterrupted, err)
+			}
 			return err
 		}
 		report(res.CompletionTime.Seconds(), &res.Metrics, len(res.Jobs))

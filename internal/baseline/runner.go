@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"metadataflow/internal/cluster"
@@ -30,6 +31,10 @@ type Config struct {
 	// PinReused pins datasets with multiple consumers in memory, modelling
 	// Spark's explicit cache() designation (§6.1 Spark (cache)).
 	PinReused bool
+	// Context, when non-nil, cancels every job of the family at its next
+	// scheduling boundary (engine.Options.Context); mdfrun threads its
+	// SIGINT/SIGTERM context through here.
+	Context context.Context
 }
 
 func (c Config) engineOptions(memShare sim.Bytes) engine.Options {
@@ -44,6 +49,7 @@ func (c Config) engineOptions(memShare sim.Bytes) engine.Options {
 		Scheduler:    sched,
 		Incremental:  c.Incremental,
 		PinReused:    c.PinReused,
+		Context:      c.Context,
 	}
 }
 

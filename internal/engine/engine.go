@@ -11,6 +11,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"metadataflow/internal/cluster"
@@ -69,6 +70,13 @@ type Options struct {
 	// background disk writes that overlap compute and cut the lineage
 	// re-derivation cost of later failures. Implied by Faults.
 	Checkpoint bool
+	// Context, when non-nil, cancels the run between stages: the next Step
+	// after the context is done fails the run with an error wrapping the
+	// cancellation cause (context.Cause). Long-lived callers — the service
+	// layer's per-job deadlines and drain, mdfrun's SIGINT handling — use it
+	// to abandon a run at a deterministic scheduling boundary; the partial
+	// result and Snapshot stay readable afterwards.
+	Context context.Context
 	// FailAfterStage and FailNode are deprecated: use Faults. When Faults
 	// is nil and FailAfterStage > 0, they are mapped onto a single-crash
 	// plan for node FailNode.
@@ -407,6 +415,43 @@ func (r *Run) Allocator(n int) *memorymgr.Allocator { return r.allocs[n] }
 // LiveDatasets returns |D^c_s|: datasets still needed to complete execution.
 func (r *Run) LiveDatasets() int { return r.liveCount }
 
+// CheckpointLive writes a durable on-disk copy of every live dataset
+// partition that does not have one yet and returns the number of partitions
+// newly checkpointed. It is the drain hook of the service layer: a run
+// abandoned mid-flight (graceful shutdown, deadline) first persists its
+// intermediate state so a later resubmission re-reads instead of recomputing.
+// The disk writes are charged on the nodes' timelines at the run's current
+// virtual time; iteration follows plan order, so the charge sequence is
+// deterministic. Valid on finished, failed and canceled runs alike.
+func (r *Run) CheckpointLive() int {
+	n := 0
+	end := r.now
+	seen := make(map[dataset.ID]bool)
+	for _, st := range r.plan.Stages {
+		d := r.stageOut[st.ID]
+		if d == nil || seen[d.ID] {
+			continue
+		}
+		seen[d.ID] = true
+		if _, live := r.datasets[d.ID]; !live {
+			continue
+		}
+		for i := range d.Parts {
+			key := d.Key(i)
+			a := r.allocs[r.nodeOf(key, i)]
+			if !a.Known(key) || a.Checkpointed(key) {
+				continue
+			}
+			if t := a.Checkpoint(key, r.now); t > end {
+				end = t
+			}
+			n++
+		}
+	}
+	r.now = end
+	return n
+}
+
 // Result finalises and returns the run's result. It is valid once Done.
 func (r *Run) Result() *Result {
 	res := &Result{
@@ -430,6 +475,14 @@ func (r *Run) Result() *Result {
 func (r *Run) Step() bool {
 	if r.done {
 		return false
+	}
+	if ctx := r.opts.Context; ctx != nil {
+		if ctx.Err() != nil {
+			r.err = fmt.Errorf("engine: run canceled after %d stages: %w",
+				r.metrics.StagesExecuted, context.Cause(ctx))
+			r.done = true
+			return false
+		}
 	}
 	if err := r.applyFaults(); err != nil {
 		r.err = err

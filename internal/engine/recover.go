@@ -34,6 +34,15 @@ type opPanicError struct {
 
 func (e *opPanicError) Error() string { return fmt.Sprintf("operator %q panicked: %v", e.op, e.val) }
 
+// IsPanic reports whether a run error originated in an operator panic that
+// persisted past the retry budget. The service layer treats such failures as
+// transient (the job is retried with backoff, and repeated offenders trip
+// the tenant's quarantine) while every other run error is permanent.
+func IsPanic(err error) bool {
+	var pe *opPanicError
+	return errors.As(err, &pe)
+}
+
 // callTransform invokes one operator function under recover(), converting
 // panics — injected or genuine — into opPanicError.
 func (r *Run) callTransform(op *graph.Operator, in []*dataset.Dataset) (out *dataset.Dataset, err error) {

@@ -45,7 +45,7 @@ func Ablation(o Options) (*Table, error) {
 		row := Row{X: fmt.Sprintf("%d (%d)", b, b*b)}
 		for _, cfg := range configs {
 			cfg := cfg
-			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+			sum, err := summarize(o, seeds, func(seed int64) (float64, error) {
 				p := synthetic.Defaults()
 				p.Seed = seed
 				p.OuterBranches, p.InnerBranches = b, b

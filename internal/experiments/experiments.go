@@ -6,7 +6,9 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -28,7 +30,16 @@ type Options struct {
 	Seeds int
 	// Quick shrinks workloads and sweeps for fast test runs.
 	Quick bool
+	// Ctx, when non-nil, cancels a sweep between seeded runs: summarize
+	// returns an error wrapping ErrInterrupted at the next data point after
+	// the context is done. mdfbench threads its SIGINT/SIGTERM context
+	// through here so a half-finished sweep exits promptly without leaving
+	// partially written artifacts.
+	Ctx context.Context
 }
+
+// ErrInterrupted marks a sweep canceled through Options.Ctx.
+var ErrInterrupted = errors.New("experiments: interrupted")
 
 // DefaultOptions mirrors the paper's three-run protocol.
 func DefaultOptions() Options { return Options{Seeds: 3} }
@@ -364,9 +375,12 @@ func parRun(g *graph.Graph, k int, ccfg cluster.Config) (float64, error) {
 }
 
 // summarize runs fn once per seed and summarises the returned values.
-func summarize(seeds []int64, fn func(seed int64) (float64, error)) (stats.Summary, error) {
+func summarize(o Options, seeds []int64, fn func(seed int64) (float64, error)) (stats.Summary, error) {
 	vals := make([]float64, 0, len(seeds))
 	for _, s := range seeds {
+		if o.Ctx != nil && o.Ctx.Err() != nil {
+			return stats.Summary{}, fmt.Errorf("%w: %v", ErrInterrupted, context.Cause(o.Ctx))
+		}
 		v, err := fn(s)
 		if err != nil {
 			return stats.Summary{}, err

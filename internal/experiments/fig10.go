@@ -45,7 +45,7 @@ func Fig10(o Options) (*Table, error) {
 		row := Row{X: fmt.Sprintf("%d", w)}
 		for _, v := range policyVariants() {
 			v := v
-			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+			sum, err := summarize(o, seeds, func(seed int64) (float64, error) {
 				p := scalabilityParams(o, w, seed)
 				res, err := runVariant(p, clusterConfig(w, 4*gb), v)
 				if err != nil {
@@ -81,7 +81,7 @@ func Fig13(o Options) (*Table, error) {
 		row := Row{X: fmt.Sprintf("%d", w)}
 		for _, v := range policyVariants() {
 			v := v
-			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+			sum, err := summarize(o, seeds, func(seed int64) (float64, error) {
 				p := scalabilityParams(o, w, seed)
 				res, err := runVariant(p, clusterConfig(w, 4*gb), v)
 				if err != nil {
@@ -138,7 +138,7 @@ func Fig11(o Options) (*Table, error) {
 		row := Row{X: fmt.Sprintf("%d", s)}
 		for _, v := range policyVariants() {
 			v := v
-			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+			sum, err := summarize(o, seeds, func(seed int64) (float64, error) {
 				res, err := runVariant(dataSizeParams(o, s, seed), clusterConfig(8, 10*gb), v)
 				if err != nil {
 					return 0, err
@@ -172,7 +172,7 @@ func Fig14(o Options) (*Table, error) {
 		row := Row{X: fmt.Sprintf("%d", s)}
 		for _, v := range policyVariants() {
 			v := v
-			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+			sum, err := summarize(o, seeds, func(seed int64) (float64, error) {
 				res, err := runVariant(dataSizeParams(o, s, seed), clusterConfig(8, 10*gb), v)
 				if err != nil {
 					return 0, err

@@ -50,7 +50,7 @@ func Fig12(o Options) (*Table, error) {
 		row := Row{X: fmt.Sprintf("%d", f[0])}
 		for _, v := range policyVariants() {
 			v := v
-			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+			sum, err := summarize(o, seeds, func(seed int64) (float64, error) {
 				res, err := runVariant(topologyParams(o, f[0], f[1], seed), clusterConfig(8, 6*gb), v)
 				if err != nil {
 					return 0, err
@@ -84,7 +84,7 @@ func Fig15(o Options) (*Table, error) {
 		row := Row{X: fmt.Sprintf("%d", f[0])}
 		for _, v := range policyVariants() {
 			v := v
-			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+			sum, err := summarize(o, seeds, func(seed int64) (float64, error) {
 				res, err := runVariant(topologyParams(o, f[0], f[1], seed), clusterConfig(8, 6*gb), v)
 				if err != nil {
 					return 0, err
@@ -135,7 +135,7 @@ func Fig16(o Options) (*Table, error) {
 		}
 		for _, v := range policyVariants()[1:] { // AMM, LRU+inc, AMM+inc
 			v := v
-			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+			sum, err := summarize(o, seeds, func(seed int64) (float64, error) {
 				base, err := runVariant(params(seed), clusterConfig(8, 6*gb), policyVariants()[0])
 				if err != nil {
 					return 0, err
@@ -193,7 +193,7 @@ func Fig17(o Options) (*Table, error) {
 		row := Row{X: fmt.Sprintf("%d", m)}
 		for _, v := range policyVariants()[1:] {
 			v := v
-			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+			sum, err := summarize(o, seeds, func(seed int64) (float64, error) {
 				base, err := runVariant(memSweepParams(o, seed), clusterConfig(8, m*gb), policyVariants()[0])
 				if err != nil {
 					return 0, err
@@ -233,7 +233,7 @@ func Fig18(o Options) (*Table, error) {
 		row := Row{X: fmt.Sprintf("%d", m)}
 		for _, v := range policyVariants() {
 			v := v
-			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+			sum, err := summarize(o, seeds, func(seed int64) (float64, error) {
 				res, err := runVariant(memSweepParams(o, seed), clusterConfig(8, m*gb), v)
 				if err != nil {
 					return 0, err

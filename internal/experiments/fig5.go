@@ -55,7 +55,7 @@ func Fig5(o Options) (*Table, error) {
 		// Sequential and parallel baselines.
 		for _, k := range []int{1, 4, 8} {
 			k := k
-			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+			sum, err := summarize(o, seeds, func(seed int64) (float64, error) {
 				var total float64
 				for _, build := range baselineBuilders {
 					g, err := build(fig5Params(o, seed))
@@ -81,7 +81,7 @@ func Fig5(o Options) (*Table, error) {
 			row.Cells = append(row.Cells, sum)
 		}
 		// MDF execution of the single integrated job.
-		sum, err := summarize(seeds, func(seed int64) (float64, error) {
+		sum, err := summarize(o, seeds, func(seed int64) (float64, error) {
 			g, err := cfg.build(fig5Params(o, seed))
 			if err != nil {
 				return 0, err

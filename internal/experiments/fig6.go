@@ -45,7 +45,7 @@ func Fig6(o Options) (*Table, error) {
 		for _, k := range []int{1, 4, 8} {
 			k := k
 			size := size
-			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+			sum, err := summarize(o, seeds, func(seed int64) (float64, error) {
 				g, err := kde.BuildMDF(fig6Params(o, seed, size))
 				if err != nil {
 					return 0, err
@@ -61,7 +61,7 @@ func Fig6(o Options) (*Table, error) {
 			row.Cells = append(row.Cells, sum)
 		}
 		size := size
-		sum, err := summarize(seeds, func(seed int64) (float64, error) {
+		sum, err := summarize(o, seeds, func(seed int64) (float64, error) {
 			g, err := kde.BuildMDF(fig6Params(o, seed, size))
 			if err != nil {
 				return 0, err

@@ -100,7 +100,7 @@ func Fig7(o Options) (*Table, error) {
 		row := Row{X: fmt.Sprintf("%d", cfg.Branches())}
 		for _, k := range []int{1, 4, 8} {
 			k := k
-			sum, err := summarize(seeds, func(seed int64) (float64, error) {
+			sum, err := summarize(o, seeds, func(seed int64) (float64, error) {
 				p := cfg
 				p.Seed = seed
 				g, err := timeseries.BuildMDF(p)
@@ -117,7 +117,7 @@ func Fig7(o Options) (*Table, error) {
 			}
 			row.Cells = append(row.Cells, sum)
 		}
-		sum, err := summarize(seeds, func(seed int64) (float64, error) {
+		sum, err := summarize(o, seeds, func(seed int64) (float64, error) {
 			p := cfg
 			p.Seed = seed
 			g, err := timeseries.BuildMDF(p)
@@ -222,7 +222,7 @@ func Fig8(o Options) (*Table, error) {
 		}
 
 		// MDF: threshold over all branches (explores everything).
-		sum, err := summarize(seeds, func(seed int64) (float64, error) {
+		sum, err := summarize(o, seeds, func(seed int64) (float64, error) {
 			return run(seed, "all", scheduler.BAS(nil), false)
 		})
 		if err != nil {
@@ -231,7 +231,7 @@ func Fig8(o Options) (*Table, error) {
 		row.Cells = append(row.Cells, sum)
 
 		// MDF (top-4): incremental discard only.
-		sum, err = summarize(seeds, func(seed int64) (float64, error) {
+		sum, err = summarize(o, seeds, func(seed int64) (float64, error) {
 			return run(seed, "top4", scheduler.BAS(nil), false)
 		})
 		if err != nil {
@@ -240,7 +240,7 @@ func Fig8(o Options) (*Table, error) {
 		row.Cells = append(row.Cells, sum)
 
 		// MDF (first-4): non-exhaustive threshold, definition order.
-		sum, err = summarize(seeds, func(seed int64) (float64, error) {
+		sum, err = summarize(o, seeds, func(seed int64) (float64, error) {
 			return run(seed, "first4", scheduler.BAS(nil), false)
 		})
 		if err != nil {
@@ -253,7 +253,7 @@ func Fig8(o Options) (*Table, error) {
 		for i := range randSeeds {
 			randSeeds[i] = int64(i + 1)
 		}
-		sum, err = summarize(randSeeds, func(seed int64) (float64, error) {
+		sum, err = summarize(o, randSeeds, func(seed int64) (float64, error) {
 			return run(1, "first4", scheduler.BAS(scheduler.RandomHint(seed)), false)
 		})
 		if err != nil {
@@ -262,7 +262,7 @@ func Fig8(o Options) (*Table, error) {
 		row.Cells = append(row.Cells, sum)
 
 		// MDF (first-4, sorted): monotone evaluator + sorted hint.
-		sum, err = summarize(seeds, func(seed int64) (float64, error) {
+		sum, err = summarize(o, seeds, func(seed int64) (float64, error) {
 			return run(seed, "first4", scheduler.BAS(scheduler.SortedHint(false)), true)
 		})
 		if err != nil {

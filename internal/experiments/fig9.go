@@ -114,7 +114,7 @@ func Fig9(o Options) (*Table, error) {
 			},
 		}
 		for _, fn := range cells {
-			sum, err := summarize(seeds, fn)
+			sum, err := summarize(o, seeds, fn)
 			if err != nil {
 				return nil, err
 			}

@@ -70,17 +70,17 @@ func Stragglers(o Options) (*Table, error) {
 		}
 		return res.CompletionTime().Seconds(), nil
 	}
-	base, err := summarize(seeds, func(seed int64) (float64, error) { return run(seed, 1, false) })
+	base, err := summarize(o, seeds, func(seed int64) (float64, error) { return run(seed, 1, false) })
 	if err != nil {
 		return nil, err
 	}
 	for _, f := range factors {
 		f := f
-		plain, err := summarize(seeds, func(seed int64) (float64, error) { return run(seed, f, false) })
+		plain, err := summarize(o, seeds, func(seed int64) (float64, error) { return run(seed, f, false) })
 		if err != nil {
 			return nil, err
 		}
-		spec, err := summarize(seeds, func(seed int64) (float64, error) { return run(seed, f, true) })
+		spec, err := summarize(o, seeds, func(seed int64) (float64, error) { return run(seed, f, true) })
 		if err != nil {
 			return nil, err
 		}
@@ -158,13 +158,13 @@ func Recovery(o Options) (*Table, error) {
 	if o.Quick {
 		points = []int{5}
 	}
-	clean, err := summarize(seeds, func(seed int64) (float64, error) { return run(seed, 0) })
+	clean, err := summarize(o, seeds, func(seed int64) (float64, error) { return run(seed, 0) })
 	if err != nil {
 		return nil, err
 	}
 	for _, fp := range points {
 		fp := fp
-		failed, err := summarize(seeds, func(seed int64) (float64, error) { return run(seed, fp) })
+		failed, err := summarize(o, seeds, func(seed int64) (float64, error) { return run(seed, fp) })
 		if err != nil {
 			return nil, err
 		}
@@ -300,7 +300,7 @@ func Reliability(o Options) (*Table, error) {
 		var cells []stats.Summary
 		for _, cfg := range configs {
 			cfg := cfg
-			overhead, err := summarize(seeds, func(seed int64) (float64, error) {
+			overhead, err := summarize(o, seeds, func(seed int64) (float64, error) {
 				clean, err := run(seed, cfg, nil)
 				if err != nil {
 					return 0, err

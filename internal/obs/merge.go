@@ -1,0 +1,107 @@
+package obs
+
+import "sort"
+
+// MergeSnapshots aggregates per-job metrics snapshots into one service-level
+// document of the same schema. The merge is commutative and deterministic —
+// every collection is re-sorted by name — so aggregating the snapshots of a
+// fixed job set yields byte-identical JSON regardless of the order the jobs
+// finished in:
+//
+//   - counters and gauges sum by name, except mem.hit_ratio, which is
+//     recomputed from the summed mem.hits and mem.misses (a sum of ratios is
+//     meaningless);
+//   - histograms with identical bucket bounds merge bucket-wise; a histogram
+//     whose bounds differ from the first occurrence of its name is dropped
+//     rather than mis-merged;
+//   - completion_sec takes the maximum (the service-level makespan of the
+//     merged jobs);
+//   - per-node allocator states are omitted: jobs run on isolated per-job
+//     clusters, so "node 0" of different jobs is not the same memory;
+//   - fault events concatenate in snapshot order (callers pass snapshots in
+//     job-ID order to keep this stable).
+func MergeSnapshots(snaps []*Snapshot) *Snapshot {
+	out := NewSnapshot()
+	counters := make(map[string]int64)
+	gauges := make(map[string]float64)
+	hists := make(map[string]*Histogram)
+	var histOrder []string
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		if s.CompletionSec > out.CompletionSec {
+			out.CompletionSec = s.CompletionSec
+		}
+		for _, c := range s.Counters {
+			counters[c.Name] += c.Value
+		}
+		for _, g := range s.Gauges {
+			gauges[g.Name] += g.Value
+		}
+		for i := range s.Histograms {
+			h := &s.Histograms[i]
+			have, ok := hists[h.Name]
+			if !ok {
+				cp := *h
+				cp.Buckets = append([]Bucket(nil), h.Buckets...)
+				hists[h.Name] = &cp
+				histOrder = append(histOrder, h.Name)
+				continue
+			}
+			if !sameBounds(have.Buckets, h.Buckets) {
+				continue
+			}
+			have.Count += h.Count
+			have.Sum += h.Sum
+			have.Overflow += h.Overflow
+			for i := range have.Buckets {
+				have.Buckets[i].Count += h.Buckets[i].Count
+			}
+		}
+		out.Faults = append(out.Faults, s.Faults...)
+	}
+	if hits, ok := counters["mem.hits"]; ok {
+		if misses, ok := counters["mem.misses"]; ok {
+			ratio := 1.0
+			if hits+misses > 0 {
+				ratio = float64(hits) / float64(hits+misses)
+			}
+			gauges["mem.hit_ratio"] = ratio
+		}
+	}
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out.AddCounter(name, counters[name])
+	}
+	names = names[:0]
+	for name := range gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out.AddGauge(name, gauges[name])
+	}
+	sort.Strings(histOrder)
+	for _, name := range histOrder {
+		out.Histograms = append(out.Histograms, *hists[name])
+	}
+	out.Normalize()
+	return out
+}
+
+func sameBounds(a, b []Bucket) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Le != b[i].Le {
+			return false
+		}
+	}
+	return true
+}

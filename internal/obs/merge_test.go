@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func mergeFixtures() []*Snapshot {
+	a := NewSnapshot()
+	a.CompletionSec = 10
+	a.AddCounter("mem.hits", 8)
+	a.AddCounter("mem.misses", 2)
+	a.AddCounter("stages", 5)
+	a.AddGauge("mem.hit_ratio", 0.8)
+	ha := NewHistogram("stage_sec", "sec", []float64{1, 2})
+	ha.Observe(0.5)
+	ha.Observe(1.5)
+	a.Histograms = append(a.Histograms, *ha)
+
+	b := NewSnapshot()
+	b.CompletionSec = 25
+	b.AddCounter("mem.hits", 2)
+	b.AddCounter("mem.misses", 8)
+	b.AddCounter("recoveries", 1)
+	b.AddGauge("mem.hit_ratio", 0.2)
+	hb := NewHistogram("stage_sec", "sec", []float64{1, 2})
+	hb.Observe(3)
+	b.Histograms = append(b.Histograms, *hb)
+
+	return []*Snapshot{a, b}
+}
+
+func TestMergeSnapshotsSumsAndRecomputesRatio(t *testing.T) {
+	m := MergeSnapshots(mergeFixtures())
+	if got, ok := m.CounterValue("mem.hits"); !ok || got != 10 {
+		t.Fatalf("mem.hits = %d, %v; want 10", got, ok)
+	}
+	if got, ok := m.CounterValue("mem.misses"); !ok || got != 10 {
+		t.Fatalf("mem.misses = %d, %v; want 10", got, ok)
+	}
+	if got, ok := m.CounterValue("stages"); !ok || got != 5 {
+		t.Fatalf("stages = %d, %v; want 5", got, ok)
+	}
+	if got, ok := m.CounterValue("recoveries"); !ok || got != 1 {
+		t.Fatalf("recoveries = %d, %v; want 1", got, ok)
+	}
+	// Ratio recomputed from summed hits/misses — NOT 0.8+0.2.
+	var ratio float64
+	found := false
+	for _, g := range m.Gauges {
+		if g.Name == "mem.hit_ratio" {
+			ratio, found = g.Value, true
+		}
+	}
+	if !found || ratio != 0.5 {
+		t.Fatalf("mem.hit_ratio = %v (found=%v), want 0.5", ratio, found)
+	}
+	if m.CompletionSec != 25 {
+		t.Fatalf("completion_sec = %v, want max 25", m.CompletionSec)
+	}
+	if len(m.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1 merged", len(m.Histograms))
+	}
+	h := m.Histograms[0]
+	if h.Count != 3 || h.Sum != 5 || h.Overflow != 1 {
+		t.Fatalf("merged histogram count=%d sum=%v overflow=%d, want 3/5/1", h.Count, h.Sum, h.Overflow)
+	}
+}
+
+// TestMergeSnapshotsOrderIndependent pins the property the /metrics endpoint
+// relies on: merging the same snapshot set in any order yields byte-identical
+// JSON.
+func TestMergeSnapshotsOrderIndependent(t *testing.T) {
+	snaps := mergeFixtures()
+	fwd := MergeSnapshots(snaps)
+	rev := MergeSnapshots([]*Snapshot{snaps[1], snaps[0]})
+
+	var bufFwd, bufRev bytes.Buffer
+	if err := fwd.WriteJSON(&bufFwd); err != nil {
+		t.Fatal(err)
+	}
+	if err := rev.WriteJSON(&bufRev); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufFwd.Bytes(), bufRev.Bytes()) {
+		t.Fatalf("merge not order-independent:\n%s\nvs\n%s", bufFwd.String(), bufRev.String())
+	}
+}
+
+func TestMergeSnapshotsSkipsMismatchedBounds(t *testing.T) {
+	a := NewSnapshot()
+	ha := NewHistogram("h", "sec", []float64{1, 2})
+	ha.Observe(1)
+	a.Histograms = append(a.Histograms, *ha)
+
+	b := NewSnapshot()
+	hb := NewHistogram("h", "sec", []float64{5, 10})
+	hb.Observe(1)
+	b.Histograms = append(b.Histograms, *hb)
+
+	m := MergeSnapshots([]*Snapshot{a, b})
+	if len(m.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(m.Histograms))
+	}
+	if m.Histograms[0].Count != 1 {
+		t.Fatalf("mismatched-bounds histogram merged: count = %d, want 1", m.Histograms[0].Count)
+	}
+}
+
+func TestMergeSnapshotsEmpty(t *testing.T) {
+	m := MergeSnapshots(nil)
+	if m.Schema != SnapshotSchema {
+		t.Fatalf("schema = %q", m.Schema)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

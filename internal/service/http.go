@@ -1,0 +1,146 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+
+	"metadataflow/internal/memorymgr"
+)
+
+// This file maps the server's typed errors onto the HTTP surface:
+//
+//	POST   /jobs      submit a job            201, 400, 403, 413, 429, 503
+//	GET    /jobs/{id} status + audit/explain  200, 404
+//	DELETE /jobs/{id} cancel                  200, 404, 409
+//	GET    /metrics   aggregated snapshot     200
+//	GET    /healthz   liveness + load         200
+//
+// Overload semantics: a full queue or an exhausted tenant quota answers
+// 429 with a Retry-After hint (load shedding — the job is never admitted,
+// so the service cannot be pushed past its memory budget); a quarantined
+// tenant answers 403 (circuit broken — retrying immediately is pointless);
+// draining answers 503 (shutting down — retry against a replica). Bodies
+// larger than MaxBodyBytes answer 413 before any decoding happens, so a
+// misbehaving client cannot balloon the daemon's heap.
+
+// MaxBodyBytes bounds a submission body.
+const MaxBodyBytes = 1 << 20
+
+// retryAfterSec is the Retry-After hint for shed submissions.
+const retryAfterSec = "1"
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// The status line is already written; nothing useful remains to do.
+		return
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	var req JobRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.Submit(req)
+	if err != nil {
+		var reqErr *RequestError
+		var quarantine *QuarantineError
+		var quota *memorymgr.QuotaError
+		switch {
+		case errors.As(err, &reqErr):
+			writeError(w, http.StatusBadRequest, err)
+		case errors.As(err, &quarantine):
+			writeError(w, http.StatusForbidden, err)
+		case errors.As(err, &quota), errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", retryAfterSec)
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Job(strings.TrimSpace(r.PathValue("id")))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimSpace(r.PathValue("id"))
+	if err := s.Cancel(id); err != nil {
+		switch {
+		case errors.Is(err, ErrNotFound):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrTerminal):
+			writeError(w, http.StatusConflict, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	st, err := s.Job(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	out, err := s.MetricsJSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(out); err != nil {
+		return
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Healthz())
+}

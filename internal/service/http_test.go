@@ -1,0 +1,228 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"metadataflow/internal/obs"
+)
+
+func postJob(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/jobs", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+func TestHTTPSubmitAndStatus(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+
+	rec := postJob(t, h, `{"tenant": "a", "spec": `+okSpec+`}`)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("POST /jobs = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var st JobStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Tenant != "a" {
+		t.Fatalf("created status = %+v", st)
+	}
+	s.WaitIdle()
+
+	rec = get(t, h, "/jobs/"+st.ID)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /jobs/{id} = %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state = %q, want done", st.State)
+	}
+	if len(st.Selections) == 0 {
+		t.Fatal("status carries no explain/selections")
+	}
+
+	if rec := get(t, h, "/jobs/job-9999"); rec.Code != http.StatusNotFound {
+		t.Fatalf("GET unknown job = %d, want 404", rec.Code)
+	}
+}
+
+func TestHTTPOverloadStatusCodes(t *testing.T) {
+	// No step loop: queued jobs stay queued, so every rejection is
+	// deterministic.
+	s := newServer(Config{
+		Workers:      2,
+		MemPerWorker: 1 << 20,
+		TenantQuota:  2 << 20,
+		QueueCap:     1,
+		MaxActive:    1,
+	})
+	h := s.Handler()
+
+	if rec := postJob(t, h, `{"tenant": "a", "spec": `+okSpec+`}`); rec.Code != http.StatusCreated {
+		t.Fatalf("first submit = %d", rec.Code)
+	}
+	// Tenant quota exhausted: 429 with Retry-After.
+	rec := postJob(t, h, `{"tenant": "a", "spec": `+okSpec+`}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After hint")
+	}
+	// Queue full for another tenant: also 429 + Retry-After.
+	rec = postJob(t, h, `{"tenant": "b", "spec": `+okSpec+`}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("queue-full submit = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("queue-full 429 without Retry-After hint")
+	}
+	var body errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error == "" {
+		t.Fatalf("429 body %q not a JSON error (%v)", rec.Body.String(), err)
+	}
+	go s.loop()
+	s.Close()
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+
+	cases := map[string]string{
+		"not json":      `{`,
+		"unknown field": `{"tenant": "a", "sepc": {}}`,
+		"no tenant":     `{"spec": ` + okSpec + `}`,
+		"bad spec":      `{"tenant": "a", "spec": {"source": {"rows": 0}, "pipeline": []}}`,
+	}
+	for name, body := range cases {
+		if rec := postJob(t, h, body); rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400", name, rec.Code)
+		}
+	}
+
+	// An oversized body is rejected up front with 413.
+	huge := `{"tenant": "a", "pad": "` + strings.Repeat("x", MaxBodyBytes+1) + `"}`
+	if rec := postJob(t, h, huge); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d, want 413", rec.Code)
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	// No loop: the job stays queued for a deterministic cancel.
+	s := newServer(Config{})
+	h := s.Handler()
+	rec := postJob(t, h, `{"tenant": "a", "spec": `+okSpec+`}`)
+	var st JobStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+
+	del := httptest.NewRequest("DELETE", "/jobs/"+st.ID, nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, del)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("DELETE = %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Fatalf("state after cancel = %q", st.State)
+	}
+
+	// Terminal: 409. Unknown: 404.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("DELETE", "/jobs/"+st.ID, nil))
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("cancel terminal = %d, want 409", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("DELETE", "/jobs/job-9999", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("cancel unknown = %d, want 404", rec.Code)
+	}
+	go s.loop()
+	s.Close()
+}
+
+func TestHTTPMetricsAndHealthz(t *testing.T) {
+	s := New(Config{})
+	h := s.Handler()
+	postJob(t, h, `{"tenant": "a", "spec": `+okSpec+`}`)
+	s.WaitIdle()
+
+	rec := get(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != obs.SnapshotSchema {
+		t.Fatalf("metrics schema = %q", snap.Schema)
+	}
+	if v, ok := snap.CounterValue("service.jobs_done"); !ok || v != 1 {
+		t.Fatalf("service.jobs_done = %d, want 1", v)
+	}
+
+	rec = get(t, h, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", rec.Code)
+	}
+	var hl Health
+	if err := json.Unmarshal(rec.Body.Bytes(), &hl); err != nil {
+		t.Fatal(err)
+	}
+	if hl.State != "ok" {
+		t.Fatalf("health state = %q, want ok", hl.State)
+	}
+
+	s.Close()
+	rec = get(t, h, "/healthz")
+	if err := json.Unmarshal(rec.Body.Bytes(), &hl); err != nil {
+		t.Fatal(err)
+	}
+	if hl.State != "draining" || !hl.Drained {
+		t.Fatalf("health after close = %+v, want draining+drained", hl)
+	}
+	// Submissions after shutdown: 503.
+	if rec := postJob(t, h, `{"tenant": "a", "spec": `+okSpec+`}`); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit after close = %d, want 503", rec.Code)
+	}
+}
+
+// TestHTTPMetricsBytesStableAcrossReads pins that reading /metrics twice at
+// quiescence returns identical bytes (the endpoint is a pure function of
+// service state).
+func TestHTTPMetricsBytesStableAcrossReads(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+	postJob(t, h, `{"tenant": "a", "spec": `+okSpec+`}`)
+	s.WaitIdle()
+	a := get(t, h, "/metrics").Body.Bytes()
+	b := get(t, h, "/metrics").Body.Bytes()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("metrics changed between reads at quiescence:\n%s\nvs\n%s", a, b)
+	}
+}

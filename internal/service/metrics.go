@@ -1,0 +1,63 @@
+package service
+
+import (
+	"bytes"
+
+	"metadataflow/internal/obs"
+)
+
+// Metrics returns the service-level metrics snapshot: the merge of every
+// terminal job's end-of-run snapshot (in job submission order, which makes
+// the merge input — and therefore the output bytes — independent of the
+// order jobs happened to finish in) plus the service's own admission and
+// lifecycle counters and per-tenant quota gauges.
+func (s *Server) Metrics() *obs.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metricsLocked()
+}
+
+func (s *Server) metricsLocked() *obs.Snapshot {
+	var snaps []*obs.Snapshot
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.snapshot != nil {
+			snaps = append(snaps, j.snapshot)
+		}
+	}
+	m := obs.MergeSnapshots(snaps)
+
+	m.AddCounter("service.jobs_submitted", s.ctr.submitted)
+	m.AddCounter("service.jobs_shed", s.ctr.shed)
+	m.AddCounter("service.jobs_quota_rejected", s.ctr.quotaRejected)
+	m.AddCounter("service.jobs_quarantine_rejected", s.ctr.quarantineRejected)
+	m.AddCounter("service.jobs_drain_rejected", s.ctr.drainRejected)
+	m.AddCounter("service.jobs_done", s.ctr.done)
+	m.AddCounter("service.jobs_failed", s.ctr.failed)
+	m.AddCounter("service.jobs_canceled", s.ctr.canceled)
+	m.AddCounter("service.jobs_checkpointed", s.ctr.checkpointed)
+	m.AddCounter("service.jobs_retried", s.ctr.retried)
+	m.AddCounter("service.jobs_deadline_exceeded", s.ctr.deadlineExceeded)
+	m.AddCounter("service.tenants_quarantined", s.ctr.quarantines)
+	m.AddCounter("service.queue_depth", int64(s.queue.Len()))
+	m.AddCounter("service.active_jobs", int64(len(s.active)))
+
+	// Per-tenant quota accounting; Tenants() is sorted, so emission order
+	// is deterministic.
+	for _, tenant := range s.quotas.Tenants() {
+		m.AddGauge("service.tenant_peak_reserved_bytes."+tenant, float64(s.quotas.Peak(tenant)))
+		m.AddGauge("service.tenant_reserved_bytes."+tenant, float64(s.quotas.Reserved(tenant)))
+	}
+
+	m.Normalize()
+	return m
+}
+
+// MetricsJSON serializes the aggregated snapshot. Same submissions in, same
+// bytes out — the determinism tests compare this output directly.
+func (s *Server) MetricsJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.Metrics().WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,689 @@
+// Package service is the multi-tenant MDF job service: a long-lived daemon
+// that admits declarative job specs (internal/spec), runs many simulated
+// MDF jobs concurrently under per-tenant memory quotas, and degrades
+// gracefully under overload, repeated failure and shutdown.
+//
+// The robustness machinery is deliberately clock-free. The only goroutine
+// that touches engine state is the step loop, every queue decision is made
+// by the deterministic cross-job scheduler, deadlines are virtual-time
+// budgets checked at scheduling boundaries, priority aging is counted in
+// pop decisions and quarantine cooldown in job completions — so a fixed
+// submission sequence always produces the same admissions, the same retry
+// and quarantine decisions, and byte-identical aggregated metrics, which is
+// what the service tests pin.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"metadataflow/internal/cluster"
+	"metadataflow/internal/engine"
+	"metadataflow/internal/faults"
+	"metadataflow/internal/graph"
+	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/obs"
+	"metadataflow/internal/scheduler"
+	"metadataflow/internal/sim"
+	"metadataflow/internal/spec"
+)
+
+// Config parameterises the service. Zero fields take defaults.
+type Config struct {
+	// Workers and MemPerWorker size the per-job simulated cluster. Every
+	// job runs on its own cluster instance so one tenant's fault plan can
+	// never degrade another tenant's nodes; contention is modelled by
+	// MaxActive and the tenant quotas instead.
+	Workers      int
+	MemPerWorker sim.Bytes
+	// TenantQuota caps the summed simulated memory footprint
+	// (Workers × MemPerWorker per job) of a tenant's queued and running
+	// jobs. Default: room for two jobs.
+	TenantQuota sim.Bytes
+	// QueueCap bounds the admission queue; submissions beyond it are shed
+	// with ErrQueueFull (HTTP 429).
+	QueueCap int
+	// MaxActive bounds concurrently running jobs.
+	MaxActive int
+	// AgeEvery is the cross-job priority-aging period in pop decisions
+	// (scheduler.CrossJobQueue).
+	AgeEvery int
+	// DeadlineSec is the default per-job virtual deadline in simulated
+	// seconds; 0 means no deadline. A request may override it.
+	DeadlineSec float64
+	// Retry bounds service-level re-admission of jobs that failed with an
+	// operator panic; zero fields take faults defaults.
+	Retry faults.RetryPolicy
+	// QuarantineStrikes is the number of panic-failed attempts after which
+	// a tenant is quarantined (circuit broken).
+	QuarantineStrikes int
+	// QuarantineCooldownJobs is how many further job completions (any
+	// tenant) a quarantine lasts; measured in completions, not seconds, so
+	// it is deterministic.
+	QuarantineCooldownJobs int
+	// DrainStepBudget is how many more engine steps each active job may
+	// take once draining starts before it is canceled and checkpointed.
+	DrainStepBudget int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.MemPerWorker <= 0 {
+		c.MemPerWorker = 256 << 20
+	}
+	if c.TenantQuota <= 0 {
+		c.TenantQuota = 2 * sim.Bytes(c.Workers) * c.MemPerWorker
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 16
+	}
+	if c.MaxActive <= 0 {
+		c.MaxActive = 2
+	}
+	if c.AgeEvery == 0 {
+		c.AgeEvery = 4
+	}
+	c.Retry = c.Retry.WithDefaults()
+	if c.QuarantineStrikes <= 0 {
+		c.QuarantineStrikes = 3
+	}
+	if c.QuarantineCooldownJobs <= 0 {
+		c.QuarantineCooldownJobs = 8
+	}
+	if c.DrainStepBudget <= 0 {
+		c.DrainStepBudget = 4
+	}
+	return c
+}
+
+// JobRequest is one job submission.
+type JobRequest struct {
+	// Tenant names the submitting tenant; required.
+	Tenant string `json:"tenant"`
+	// Priority orders admission; smaller is more urgent.
+	Priority int `json:"priority"`
+	// DeadlineSec overrides the service's default virtual deadline;
+	// negative explicitly disables it.
+	DeadlineSec float64 `json:"deadlineSec,omitempty"`
+	// Spec is the MDF job document (internal/spec schema).
+	Spec json.RawMessage `json:"spec"`
+	// Faults is an optional deterministic fault plan injected into the
+	// job's private cluster (internal/faults schema).
+	Faults json.RawMessage `json:"faults,omitempty"`
+}
+
+// Job states.
+const (
+	StateQueued       = "queued"
+	StateRunning      = "running"
+	StateDone         = "done"
+	StateFailed       = "failed"
+	StateCanceled     = "canceled"
+	StateCheckpointed = "checkpointed"
+)
+
+// Sentinel errors mapped to HTTP statuses by the handler.
+var (
+	// ErrQueueFull sheds a submission when the admission queue is full.
+	ErrQueueFull = errors.New("service: admission queue full")
+	// ErrDraining rejects submissions during graceful shutdown.
+	ErrDraining = errors.New("service: draining, not admitting jobs")
+	// ErrNotFound reports an unknown job ID.
+	ErrNotFound = errors.New("service: no such job")
+	// ErrTerminal rejects canceling a job that already finished.
+	ErrTerminal = errors.New("service: job already terminal")
+)
+
+// QuarantineError rejects a submission from a quarantined tenant.
+type QuarantineError struct {
+	// Tenant is the quarantined tenant; CooldownJobs is how many job
+	// completions remain until the quarantine lifts.
+	Tenant       string
+	CooldownJobs int
+}
+
+// Error implements the error interface.
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("service: tenant %q quarantined for %d more job completions", e.Tenant, e.CooldownJobs)
+}
+
+// RequestError marks a malformed submission (HTTP 400).
+type RequestError struct{ Err error }
+
+// Error implements the error interface.
+func (e *RequestError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying cause.
+func (e *RequestError) Unwrap() error { return e.Err }
+
+// Cancellation causes threaded through engine.Options.Context so the step
+// loop can tell why a run stopped.
+var (
+	errDeadline     = errors.New("virtual deadline exceeded")
+	errDrainCancel  = errors.New("canceled by drain")
+	errClientCancel = errors.New("canceled by client")
+)
+
+// job is the service-side record of one submission.
+type job struct {
+	id       string
+	tenant   string
+	priority int
+	deadline sim.VTime // 0 = none
+	spec     *spec.Spec
+	fplan    *faults.Plan
+	reserve  sim.Bytes
+
+	state    string
+	attempts int
+	backoff  float64 // accumulated virtual retry backoff, seconds
+	err      error
+
+	// Running state, owned by the step loop.
+	run        *engine.Run
+	cancel     context.CancelCauseFunc
+	admitSeq   int
+	drainSteps int
+
+	// Terminal state.
+	end           sim.VTime
+	snapshot      *obs.Snapshot
+	checkpointed  int
+	auditLineage  []string
+	auditBooks    []string
+	selections    map[string][]int
+}
+
+func (j *job) terminal() bool {
+	switch j.state {
+	case StateDone, StateFailed, StateCanceled, StateCheckpointed:
+		return true
+	}
+	return false
+}
+
+// JobStatus is the externally visible job state (GET /jobs/{id}).
+type JobStatus struct {
+	ID          string  `json:"id"`
+	Tenant      string  `json:"tenant"`
+	State       string  `json:"state"`
+	Priority    int     `json:"priority"`
+	Attempts    int     `json:"attempts"`
+	DeadlineSec float64 `json:"deadlineSec,omitempty"`
+	// BackoffSec is the summed virtual retry backoff charged to the job.
+	BackoffSec float64 `json:"backoffSec,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	// CompletionSec is the job's virtual makespan once terminal.
+	CompletionSec float64 `json:"completionSec,omitempty"`
+	// CheckpointedParts counts partitions checkpointed by a drain.
+	CheckpointedParts int `json:"checkpointedParts,omitempty"`
+	// Audit explains the run: choose selections and the engine's
+	// end-of-run lineage/accounting self-audit (empty = books close).
+	Selections map[string][]int `json:"selections,omitempty"`
+	Audit      []string         `json:"audit,omitempty"`
+}
+
+// counters aggregates service-level events for /metrics.
+type counters struct {
+	submitted, shed, quotaRejected, quarantineRejected, drainRejected int64
+	done, failed, canceled, checkpointed, retried, deadlineExceeded   int64
+	quarantines                                                       int64
+}
+
+// Server is the MDF job service. All state is guarded by mu; the step loop
+// is the only goroutine that advances engine runs.
+type Server struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   *scheduler.CrossJobQueue
+	quotas  *memorymgr.TenantQuotas
+	jobs    map[string]*job
+	order   []string // job IDs in submission order (metrics merge order)
+	active  []*job
+	strikes map[string]int
+	// quarantined maps a tenant to the number of job completions left in
+	// its cooldown.
+	quarantined map[string]int
+	seq         int
+	admitSeq    int
+	draining    bool
+	stopped     bool
+	ctr         counters
+}
+
+// New starts a server and its step loop.
+func New(cfg Config) *Server {
+	s := newServer(cfg)
+	go s.loop()
+	return s
+}
+
+// newServer builds a server without starting the step loop; tests use it to
+// stage state (e.g. drain mode) before any stepping can happen.
+func newServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		queue:       scheduler.NewCrossJobQueue(cfg.QueueCap, cfg.AgeEvery),
+		quotas:      memorymgr.NewTenantQuotas(cfg.TenantQuota),
+		jobs:        make(map[string]*job),
+		strikes:     make(map[string]int),
+		quarantined: make(map[string]int),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Submit validates and admits one job request. The spec and fault plan are
+// compiled up front so malformed submissions fail fast with a
+// *RequestError; admission rejections return ErrQueueFull, ErrDraining,
+// *memorymgr.QuotaError or *QuarantineError.
+func (s *Server) Submit(req JobRequest) (JobStatus, error) {
+	if req.Tenant == "" {
+		return JobStatus{}, &RequestError{Err: errors.New("service: tenant is required")}
+	}
+	if len(req.Spec) == 0 {
+		return JobStatus{}, &RequestError{Err: errors.New("service: spec is required")}
+	}
+	sp, err := spec.Parse(req.Spec)
+	if err != nil {
+		return JobStatus{}, &RequestError{Err: err}
+	}
+	var fplan *faults.Plan
+	if len(req.Faults) > 0 {
+		fplan, err = faults.Parse(req.Faults)
+		if err != nil {
+			return JobStatus{}, &RequestError{Err: err}
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.stopped {
+		s.ctr.drainRejected++
+		return JobStatus{}, ErrDraining
+	}
+	if fplan != nil {
+		if err := fplan.ValidateFor(s.cfg.Workers); err != nil {
+			return JobStatus{}, &RequestError{Err: err}
+		}
+	}
+	if left, ok := s.quarantined[req.Tenant]; ok {
+		s.ctr.quarantineRejected++
+		return JobStatus{}, &QuarantineError{Tenant: req.Tenant, CooldownJobs: left}
+	}
+	reserve := sim.Bytes(s.cfg.Workers) * s.cfg.MemPerWorker
+	if err := s.quotas.Reserve(req.Tenant, reserve); err != nil {
+		s.ctr.quotaRejected++
+		return JobStatus{}, err
+	}
+	deadline := sim.VTime(s.cfg.DeadlineSec)
+	if req.DeadlineSec != 0 {
+		deadline = sim.VTime(req.DeadlineSec)
+	}
+	if deadline < 0 {
+		deadline = 0
+	}
+	s.seq++
+	j := &job{
+		id:       fmt.Sprintf("job-%04d", s.seq),
+		tenant:   req.Tenant,
+		priority: req.Priority,
+		deadline: deadline,
+		spec:     sp,
+		fplan:    fplan,
+		reserve:  reserve,
+		state:    StateQueued,
+	}
+	if !s.queue.Push(j.id, j.tenant, j.priority) {
+		s.quotas.Release(j.tenant, reserve)
+		s.ctr.shed++
+		return JobStatus{}, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.ctr.submitted++
+	s.cond.Broadcast()
+	return s.statusLocked(j), nil
+}
+
+// Job returns the status of one job.
+func (s *Server) Job(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return s.statusLocked(j), nil
+}
+
+// Cancel withdraws a queued job or cancels a running one. Terminal jobs
+// return ErrTerminal.
+func (s *Server) Cancel(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		s.queue.Remove(j.id)
+		s.finalizeQueuedLocked(j, StateCanceled, errClientCancel)
+		s.cond.Broadcast()
+		return nil
+	case StateRunning:
+		// The run observes the cause at its next scheduling boundary.
+		j.cancel(errClientCancel)
+		s.cond.Broadcast()
+		return nil
+	}
+	return ErrTerminal
+}
+
+// Health is the /healthz document.
+type Health struct {
+	State   string `json:"state"` // "ok" or "draining"
+	Queued  int    `json:"queued"`
+	Active  int    `json:"active"`
+	Jobs    int    `json:"jobs"`
+	Drained bool   `json:"drained"`
+}
+
+// Healthz reports liveness and load.
+func (s *Server) Healthz() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := Health{State: "ok", Queued: s.queue.Len(), Active: len(s.active), Jobs: len(s.jobs)}
+	if s.draining || s.stopped {
+		h.State = "draining"
+		h.Drained = !s.hasWorkLocked()
+	}
+	return h
+}
+
+// WaitIdle blocks until no job is queued or running. Tests use it to reach
+// a deterministic quiescent point without draining.
+func (s *Server) WaitIdle() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.hasWorkLocked() {
+		s.cond.Wait()
+	}
+}
+
+// Drain gracefully shuts admission down: new submissions are rejected with
+// ErrDraining, queued jobs still run, and every active job gets
+// DrainStepBudget more engine steps before it is canceled and its live
+// datasets checkpointed. Drain returns the final aggregated metrics
+// snapshot once every admitted job is terminal. Safe to call more than
+// once.
+func (s *Server) Drain() *obs.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.draining = true
+	s.cond.Broadcast()
+	for s.hasWorkLocked() {
+		s.cond.Wait()
+	}
+	return s.metricsLocked()
+}
+
+// Close drains the server and stops the step loop.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	for s.hasWorkLocked() {
+		s.cond.Wait()
+	}
+	s.stopped = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *Server) hasWorkLocked() bool {
+	return s.queue.Len() > 0 || len(s.active) > 0
+}
+
+// loop is the step loop: the single goroutine that admits queued jobs and
+// advances engine runs, one deterministic step at a time, under s.mu.
+func (s *Server) loop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for !s.stopped && !s.hasWorkLocked() {
+			s.cond.Wait()
+		}
+		if s.stopped {
+			return
+		}
+		s.admitLocked()
+		s.stepLocked()
+		s.cond.Broadcast()
+	}
+}
+
+// admitLocked starts queued jobs while runner slots are free.
+func (s *Server) admitLocked() {
+	for len(s.active) < s.cfg.MaxActive && s.queue.Len() > 0 {
+		t, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		j := s.jobs[t.ID]
+		if _, bad := s.quarantined[j.tenant]; bad {
+			// The tenant was quarantined after this job queued.
+			s.finalizeQueuedLocked(j, StateFailed, &QuarantineError{Tenant: j.tenant, CooldownJobs: s.quarantined[j.tenant]})
+			continue
+		}
+		if err := s.startLocked(j); err != nil {
+			s.finalizeQueuedLocked(j, StateFailed, err)
+		}
+	}
+}
+
+// startLocked builds a fresh per-job cluster and run for the job. Retries
+// rebuild from the spec, so a deterministic fault plan replays identically
+// on every attempt.
+func (s *Server) startLocked(j *job) error {
+	g, err := j.spec.Compile()
+	if err != nil {
+		return err
+	}
+	plan, err := graph.BuildPlan(g)
+	if err != nil {
+		return err
+	}
+	clCfg := cluster.DefaultConfig()
+	clCfg.Workers = s.cfg.Workers
+	clCfg.MemPerWorker = s.cfg.MemPerWorker
+	cl, err := cluster.New(clCfg)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	run, err := engine.NewRun(plan, engine.Options{
+		Cluster: cl,
+		Policy:  memorymgr.AMM,
+		Faults:  j.fplan,
+		Context: ctx,
+	}, 0)
+	if err != nil {
+		cancel(nil)
+		return err
+	}
+	j.run = run
+	j.cancel = cancel
+	j.attempts++
+	j.drainSteps = 0
+	j.state = StateRunning
+	s.admitSeq++
+	j.admitSeq = s.admitSeq
+	s.active = append(s.active, j)
+	return nil
+}
+
+// stepLocked advances the active run that is earliest in virtual time by
+// one stage, enforcing deadlines and the drain step budget at the
+// scheduling boundary, and finalizes the run when it stops.
+func (s *Server) stepLocked() {
+	if len(s.active) == 0 {
+		return
+	}
+	idx := 0
+	for i := 1; i < len(s.active); i++ {
+		a, b := s.active[i], s.active[idx]
+		if a.run.Now() < b.run.Now() || (a.run.Now() == b.run.Now() && a.admitSeq < b.admitSeq) {
+			idx = i
+		}
+	}
+	j := s.active[idx]
+	if j.deadline > 0 && j.run.Now() >= j.deadline {
+		j.cancel(errDeadline)
+	}
+	if s.draining {
+		if j.drainSteps >= s.cfg.DrainStepBudget {
+			j.cancel(errDrainCancel)
+		}
+		j.drainSteps++
+	}
+	if j.run.Step() {
+		return
+	}
+	s.active = append(s.active[:idx], s.active[idx+1:]...)
+	s.finalizeRunLocked(j)
+}
+
+// finalizeRunLocked classifies a stopped run and either retires the job or
+// requeues it for a retry.
+func (s *Server) finalizeRunLocked(j *job) {
+	err := j.run.Err()
+	j.cancel(nil)
+	switch {
+	case err == nil:
+		s.retireLocked(j, StateDone, nil)
+		s.ctr.done++
+	case errors.Is(err, errDrainCancel):
+		j.checkpointed = j.run.CheckpointLive()
+		s.retireLocked(j, StateCheckpointed, err)
+		s.ctr.checkpointed++
+	case errors.Is(err, errClientCancel):
+		s.retireLocked(j, StateCanceled, err)
+		s.ctr.canceled++
+	case errors.Is(err, errDeadline):
+		s.retireLocked(j, StateFailed, err)
+		s.ctr.deadlineExceeded++
+		s.ctr.failed++
+	case engine.IsPanic(err):
+		s.strikeLocked(j.tenant)
+		if j.attempts < s.cfg.Retry.MaxAttempts && !s.draining {
+			// Transient failure with attempts left: requeue with the
+			// policy's exponential backoff charged in virtual seconds.
+			j.backoff += s.cfg.Retry.Backoff(j.attempts)
+			j.run, j.cancel = nil, nil
+			if s.queue.Push(j.id, j.tenant, j.priority) {
+				j.state = StateQueued
+				j.err = nil
+				s.ctr.retried++
+				return
+			}
+			// No room to retry: shed the retry, fail the job.
+			s.retireLocked(j, StateFailed, fmt.Errorf("%w (retry shed: %v)", ErrQueueFull, err))
+			s.ctr.shed++
+			s.ctr.failed++
+			return
+		}
+		s.retireLocked(j, StateFailed, err)
+		s.ctr.failed++
+	default:
+		s.retireLocked(j, StateFailed, err)
+		s.ctr.failed++
+	}
+}
+
+// retireLocked moves a job that holds a run into a terminal state,
+// capturing its snapshot and audit surface and releasing its quota.
+func (s *Server) retireLocked(j *job, state string, err error) {
+	j.state = state
+	j.err = err
+	j.end = j.run.Now()
+	j.snapshot = j.run.Snapshot()
+	j.selections = j.run.ChooseSelections()
+	j.auditLineage = j.run.AuditLineage()
+	j.auditBooks = j.run.AuditAccounting()
+	j.run, j.cancel = nil, nil
+	s.quotas.Release(j.tenant, j.reserve)
+	s.completionLocked()
+}
+
+// finalizeQueuedLocked retires a job that never got a run (withdrawn,
+// quarantined at pop, or failed to start).
+func (s *Server) finalizeQueuedLocked(j *job, state string, err error) {
+	j.state = state
+	j.err = err
+	if state == StateCanceled {
+		s.ctr.canceled++
+	} else if state == StateFailed {
+		s.ctr.failed++
+	}
+	s.quotas.Release(j.tenant, j.reserve)
+	s.completionLocked()
+}
+
+// strikeLocked charges one panic-failed attempt to the tenant and trips
+// the quarantine circuit breaker at the configured threshold.
+func (s *Server) strikeLocked(tenant string) {
+	s.strikes[tenant]++
+	if s.strikes[tenant] >= s.cfg.QuarantineStrikes {
+		if _, already := s.quarantined[tenant]; !already {
+			s.quarantined[tenant] = s.cfg.QuarantineCooldownJobs
+			s.ctr.quarantines++
+		}
+	}
+}
+
+// completionLocked counts one job completion against every active
+// quarantine cooldown, lifting quarantines that reach zero.
+func (s *Server) completionLocked() {
+	for tenant, left := range s.quarantined {
+		left--
+		if left <= 0 {
+			delete(s.quarantined, tenant)
+			s.strikes[tenant] = 0
+		} else {
+			s.quarantined[tenant] = left
+		}
+	}
+}
+
+func (s *Server) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:                j.id,
+		Tenant:            j.tenant,
+		State:             j.state,
+		Priority:          j.priority,
+		Attempts:          j.attempts,
+		DeadlineSec:       float64(j.deadline),
+		BackoffSec:        j.backoff,
+		CheckpointedParts: j.checkpointed,
+		Selections:        j.selections,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.terminal() {
+		st.CompletionSec = float64(j.end)
+		st.Audit = append(st.Audit, j.auditLineage...)
+		st.Audit = append(st.Audit, j.auditBooks...)
+	}
+	return st
+}

@@ -6,6 +6,7 @@
 package spec
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -144,11 +145,21 @@ type Selector struct {
 	Hi float64 `json:"hi,omitempty"`
 }
 
-// Parse decodes a JSON document into a Spec.
+// Parse decodes a JSON document into a Spec. Decoding is strict: a field
+// the schema does not define is an error, not silently dropped, so a typo
+// like "partitons" fails the submission instead of running the job with a
+// default the author never chose.
 func Parse(data []byte) (*Spec, error) {
 	var s Spec
-	if err := json.Unmarshal(data, &s); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("spec: %w", err)
+	}
+	// A second document after the first is a malformed spec, not trailing
+	// input to ignore.
+	if dec.More() {
+		return nil, fmt.Errorf("spec: trailing data after document")
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err

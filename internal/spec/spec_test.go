@@ -358,3 +358,32 @@ func TestFileSourceCapAndErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestParseRejectsUnknownFields pins strict decoding: a field the schema
+// does not define — at the top level or nested anywhere in the pipeline —
+// fails Parse instead of being silently dropped.
+func TestParseRejectsUnknownFields(t *testing.T) {
+	cases := map[string]string{
+		"top level": `{"source": {"rows": 10}, "pipeline": [{"op": {"name": "x"}}], "nme": "typo"}`,
+		"in source": `{"source": {"rows": 10, "partitons": 4}, "pipeline": [{"op": {"name": "x"}}]}`,
+		"in op":     `{"source": {"rows": 10}, "pipeline": [{"op": {"name": "x", "expense": 1}}]}`,
+		"in choose": `{"source": {"rows": 10}, "pipeline": [{"explore": {"name": "e",
+			"branches": [{"label": "a"}, {"label": "b"}],
+			"body": [{"op": {"name": "y"}}],
+			"choose": {"selector": {"kind": "max"}, "evaluater": "size"}}}]}`,
+		"in selector": `{"source": {"rows": 10}, "pipeline": [{"explore": {"name": "e",
+			"branches": [{"label": "a"}, {"label": "b"}],
+			"body": [{"op": {"name": "y"}}],
+			"choose": {"selector": {"kind": "topk", "kk": 2}}}}]}`,
+		"trailing document": `{"source": {"rows": 10}, "pipeline": [{"op": {"name": "x"}}]} {"extra": 1}`,
+	}
+	for name, doc := range cases {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: Parse accepted a document with an unknown field", name)
+		}
+	}
+	// The same documents without the typos still parse.
+	if _, err := Parse([]byte(`{"source": {"rows": 10, "partitions": 4}, "pipeline": [{"op": {"name": "x", "costPerMB": 1}}]}`)); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+}
