@@ -1,8 +1,25 @@
 GO ?= go
 
-.PHONY: all build test vet lint race experiments-quick fuzz-short chaos-short chaos serve-short bench-baseline ci clean
+.PHONY: all help build test vet lint race race-short experiments-quick fuzz-short chaos-short chaos serve-short bench-baseline ci clean
 
 all: build
+
+# help lists the targets worth knowing about.
+help:
+	@echo "mdf targets:"
+	@echo "  build             compile everything"
+	@echo "  test              go test ./..."
+	@echo "  vet               go vet ./..."
+	@echo "  lint              mdflint: determinism, unit and concurrency rules (exits nonzero on findings)"
+	@echo "  race              full test suite under the race detector"
+	@echo "  race-short        focused -race -short -count=1 gate on the concurrent packages (service, engine, scheduler)"
+	@echo "  experiments-quick regenerate the resilience experiment CSVs in quick mode"
+	@echo "  fuzz-short        brief fuzz runs of the JSON parsers"
+	@echo "  chaos-short       deterministic 50-trial chaos sweep, run twice and compared"
+	@echo "  chaos             long randomized chaos sweep (CHAOS_SEED, CHAOS_TRIALS)"
+	@echo "  serve-short       service-layer tests (admission, quotas, drain, HTTP)"
+	@echo "  bench-baseline    regenerate BENCH_*.json and fail on drift"
+	@echo "  ci                the merge gate: vet lint build race race-short chaos-short experiments-quick serve-short bench-baseline"
 
 build:
 	$(GO) build ./...
@@ -10,17 +27,26 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs mdflint, the repo's determinism and unit-discipline static
-# analyzer (see ARCHITECTURE.md "Determinism rules" and "Unit types and
-# semantic rules"). It exits nonzero on any finding.
+# lint runs mdflint, the repo's determinism, unit-discipline and
+# concurrency-safety static analyzer (see ARCHITECTURE.md "Determinism
+# rules", "Unit types and semantic rules" and "Concurrency rules"). It
+# exits nonzero on any finding; -stale-allows additionally audits
+# suppression comments.
 lint:
-	$(GO) run ./cmd/mdflint ./...
+	$(GO) run ./cmd/mdflint -stale-allows ./...
 
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# race-short is the focused race gate on the packages with real
+# concurrency: the service (step loop vs HTTP surface), the engine
+# (context cancellation) and the scheduler. -count=1 defeats the test
+# cache so the race detector actually runs on every invocation. Part of ci.
+race-short:
+	$(GO) test -race -short -count=1 ./internal/service ./internal/engine ./internal/scheduler
 
 # Quick-mode regeneration of the resilience experiments: stragglers,
 # recovery, and the fault-rate reliability sweep.
@@ -75,7 +101,7 @@ bench-baseline: build
 	@rm -f .bench-stragglers.prev.json .bench-recovery.prev.json
 
 # ci is the gate a change must pass before merging.
-ci: vet lint build race chaos-short experiments-quick serve-short bench-baseline
+ci: vet lint build race race-short chaos-short experiments-quick serve-short bench-baseline
 
 clean:
 	$(GO) clean ./...

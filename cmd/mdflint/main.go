@@ -1,6 +1,7 @@
-// Command mdflint runs mdfvet, the repo's determinism and
-// simulator-discipline static-analysis suite (internal/analysis):
-// wallclock, seededrand, maporder, droppederr, unitsafety and leakcheck.
+// Command mdflint runs mdfvet, the repo's determinism, simulator-discipline
+// and concurrency-safety static-analysis suite (internal/analysis):
+// wallclock, seededrand, maporder, droppederr, unitsafety, leakcheck,
+// locksafety, goroutinecapture, ctxflow and spawnbound.
 // It prints one `file:line: [rule] message` diagnostic per finding and
 // exits nonzero when any survive, so `make ci` can gate on it.
 //
@@ -10,20 +11,31 @@
 //	mdflint ./internal/engine      # one subtree
 //	mdflint -rules maporder ./...  # a subset of rules
 //	mdflint -json ./...            # one JSON finding object per line
+//	mdflint -stale-allows ./...    # audit //lint:allow directives
 //	mdflint -list                  # list the rules
 //
 // With -json each finding is one JSON object per line on stdout:
 // {"file":...,"line":...,"rule":...,"msg":...}. Exit codes are unchanged.
 //
+// With -stale-allows the run additionally reports every `//lint:allow`
+// directive that suppressed nothing — the violation it excused is gone, so
+// the directive should be deleted before it hides a regression. Stale
+// directives are informational: they print (to stdout; as
+// {"file":...,"line":...,"rule":...} objects under -json) but do not affect
+// the exit code.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or load errors.
+//
 // Findings are suppressed with a `//lint:allow <rule>` comment on the
 // offending line or the line above it; see ARCHITECTURE.md, "Determinism
-// rules" and "Unit types and semantic rules".
+// rules", "Unit types and semantic rules" and "Concurrency rules".
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,22 +44,33 @@ import (
 )
 
 func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main with its streams and exit code lifted out so the CLI
+// contract — flag handling, output shape, exit codes — is testable.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mdflint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		rules    = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
-		list     = flag.Bool("list", false, "list the available rules and exit")
-		jsonMode = flag.Bool("json", false, "emit findings as one JSON object per line")
+		rules       = fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		list        = fs.Bool("list", false, "list the available rules and exit")
+		jsonMode    = fs.Bool("json", false, "emit findings as one JSON object per line")
+		staleAllows = fs.Bool("stale-allows", false, "also report //lint:allow directives that suppress nothing (informational; does not affect the exit code)")
 	)
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mdflint [-rules r1,r2] [-json] [-list] [./... | dir ...]\n")
-		flag.PrintDefaults()
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mdflint [-rules r1,r2] [-json] [-stale-allows] [-list] [./... | dir ...]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, r := range analysis.Rules() {
-			fmt.Println(r)
+			fmt.Fprintln(stdout, r)
 		}
-		return
+		return 0
 	}
 
 	cfg := analysis.DefaultConfig()
@@ -59,9 +82,10 @@ func main() {
 		for _, r := range strings.Split(*rules, ",") {
 			r = strings.TrimSpace(r)
 			if !known[r] {
-				fmt.Fprintf(os.Stderr, "mdflint: unknown rule %q (have %s)\n",
+				fmt.Fprintf(stderr, "mdflint: unknown rule %q\nvalid rules: %s\n",
 					r, strings.Join(analysis.Rules(), ", "))
-				os.Exit(2)
+				fs.Usage()
+				return 2
 			}
 			cfg.Rules = append(cfg.Rules, r)
 		}
@@ -69,23 +93,23 @@ func main() {
 
 	root, err := moduleRoot()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mdflint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "mdflint:", err)
+		return 2
 	}
 	m, err := analysis.Load(root)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mdflint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "mdflint:", err)
+		return 2
 	}
 
-	prefixes, err := pathPrefixes(flag.Args(), root)
+	prefixes, err := pathPrefixes(fs.Args(), root)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mdflint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "mdflint:", err)
+		return 2
 	}
 
-	findings := analysis.Run(m, cfg)
-	enc := json.NewEncoder(os.Stdout)
+	findings, stale := analysis.Analyze(m, cfg)
+	enc := json.NewEncoder(stdout)
 	n := 0
 	for _, f := range findings {
 		if !underAny(f.File, prefixes) {
@@ -93,18 +117,34 @@ func main() {
 		}
 		if *jsonMode {
 			if err := enc.Encode(f); err != nil {
-				fmt.Fprintln(os.Stderr, "mdflint:", err)
-				os.Exit(2)
+				fmt.Fprintln(stderr, "mdflint:", err)
+				return 2
 			}
 		} else {
-			fmt.Println(f)
+			fmt.Fprintln(stdout, f)
 		}
 		n++
 	}
-	if n > 0 {
-		fmt.Fprintf(os.Stderr, "mdflint: %d finding(s)\n", n)
-		os.Exit(1)
+	if *staleAllows {
+		for _, s := range stale {
+			if !underAny(s.File, prefixes) {
+				continue
+			}
+			if *jsonMode {
+				if err := enc.Encode(s); err != nil {
+					fmt.Fprintln(stderr, "mdflint:", err)
+					return 2
+				}
+			} else {
+				fmt.Fprintln(stdout, s)
+			}
+		}
 	}
+	if n > 0 {
+		fmt.Fprintf(stderr, "mdflint: %d finding(s)\n", n)
+		return 1
+	}
+	return 0
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"metadataflow/internal/analysis"
+)
+
+// TestUnknownRule pins the usage-error contract: an unknown -rules entry
+// exits 2 with a crisp message naming the bad rule, the valid rules, and
+// the usage line — without running any analysis.
+func TestUnknownRule(t *testing.T) {
+	var out, errOut strings.Builder
+	code := realMain([]string{"-rules", "nosuchrule", "./..."}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	msg := errOut.String()
+	if !strings.Contains(msg, `unknown rule "nosuchrule"`) {
+		t.Errorf("stderr does not name the bad rule:\n%s", msg)
+	}
+	for _, r := range analysis.Rules() {
+		if !strings.Contains(msg, r) {
+			t.Errorf("stderr does not list valid rule %q:\n%s", r, msg)
+		}
+	}
+	if !strings.Contains(msg, "usage: mdflint") {
+		t.Errorf("stderr does not include the usage line:\n%s", msg)
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout should be empty on a usage error, got:\n%s", out.String())
+	}
+}
+
+// TestListRules checks -list prints every rule, one per line, and exits 0.
+func TestListRules(t *testing.T) {
+	var out, errOut strings.Builder
+	code := realMain([]string{"-list"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	got := strings.Split(strings.TrimSpace(out.String()), "\n")
+	want := analysis.Rules()
+	if len(got) != len(want) {
+		t.Fatalf("-list printed %d lines, want %d:\n%s", len(got), len(want), out.String())
+	}
+	for i, r := range want {
+		if got[i] != r {
+			t.Errorf("-list line %d = %q, want %q", i, got[i], r)
+		}
+	}
+}
+
+// TestRepoCleanViaCLI runs the real gate end to end: the repository itself
+// must be clean — exit 0, no findings, and no stale //lint:allow
+// directives under -stale-allows.
+func TestRepoCleanViaCLI(t *testing.T) {
+	var out, errOut strings.Builder
+	code := realMain([]string{"-stale-allows", "./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no output on a clean repo, got:\n%s", out.String())
+	}
+}

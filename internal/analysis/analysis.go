@@ -23,9 +23,27 @@
 //     every Pin needs an Unpin, and every telemetry SpanBegin needs a
 //     SpanEnd. Pairs are matched on concrete and interface receivers alike
 //     (the engine drives telemetry through the obs.Probe interface).
+//   - locksafety:  mutexes stay safe: no sync.Mutex/RWMutex held across a
+//     blocking operation (channel ops, select, WaitGroup.Wait, the engine's
+//     Step/Run entry points), lock/unlock balanced on every path with defer
+//     recognized, and no copied lock values (assignments or by-value
+//     receivers). sync.Cond.Wait is exempt — it releases its mutex.
+//   - goroutinecapture: a spawned closure may not capture a loop variable
+//     by reference, nor write a captured variable without a visible
+//     synchronization edge (mutex, channel send/close, WaitGroup.Done).
+//   - ctxflow:     functions holding a context.Context must thread it;
+//     context.Background()/TODO() are banned in library code outside main,
+//     tests and the documented allowlist of sanctioned roots.
+//   - spawnbound:  every `go` statement is tied to a visible join — the
+//     goroutine signals completion (WaitGroup.Done, channel send/close)
+//     and the package consumes the signal (Wait, receive).
 //
 // The suite is built on the standard library toolchain only: go/parser for
-// syntax and go/types for semantics. The module under analysis is
+// syntax and go/types for semantics. The concurrency rules walk the typed
+// ASTs with a path-splitting statement interpreter plus a package-local
+// may-block summary fixpoint — a hand-rolled stand-in for an SSA CFG,
+// chosen because the module deliberately has no dependencies (conc.go
+// documents the trade-off against golang.org/x/tools/go/ssa). The module under analysis is
 // type-checked in full (see typecheck.go) — module-internal imports resolve
 // against the parsed tree and standard-library imports compile from source —
 // so type questions ("is this a map?", "is this result an error?", "which
@@ -41,6 +59,7 @@ package analysis
 
 import (
 	"fmt"
+	"go/types"
 	"sort"
 	"strings"
 )
@@ -65,17 +84,25 @@ func (f Finding) String() string {
 
 // Rule names, in the order diagnostics are documented.
 const (
-	RuleWallclock  = "wallclock"
-	RuleSeededRand = "seededrand"
-	RuleMapOrder   = "maporder"
-	RuleDroppedErr = "droppederr"
-	RuleUnitSafety = "unitsafety"
-	RuleLeakCheck  = "leakcheck"
+	RuleWallclock        = "wallclock"
+	RuleSeededRand       = "seededrand"
+	RuleMapOrder         = "maporder"
+	RuleDroppedErr       = "droppederr"
+	RuleUnitSafety       = "unitsafety"
+	RuleLeakCheck        = "leakcheck"
+	RuleLockSafety       = "locksafety"
+	RuleGoroutineCapture = "goroutinecapture"
+	RuleCtxFlow          = "ctxflow"
+	RuleSpawnBound       = "spawnbound"
 )
 
 // Rules lists every rule the suite implements.
 func Rules() []string {
-	return []string{RuleWallclock, RuleSeededRand, RuleMapOrder, RuleDroppedErr, RuleUnitSafety, RuleLeakCheck}
+	return []string{
+		RuleWallclock, RuleSeededRand, RuleMapOrder, RuleDroppedErr,
+		RuleUnitSafety, RuleLeakCheck,
+		RuleLockSafety, RuleGoroutineCapture, RuleCtxFlow, RuleSpawnBound,
+	}
 }
 
 // RuleScope says where one rule applies.
@@ -103,12 +130,16 @@ func (s RuleScope) applies(relPath string, isTest bool) bool {
 // Config is the suite's policy: which rule runs where, and the small
 // vocabularies the heuristic analyzers use.
 type Config struct {
-	Wallclock  RuleScope
-	SeededRand RuleScope
-	MapOrder   RuleScope
-	DroppedErr RuleScope
-	UnitSafety RuleScope
-	LeakCheck  RuleScope
+	Wallclock        RuleScope
+	SeededRand       RuleScope
+	MapOrder         RuleScope
+	DroppedErr       RuleScope
+	UnitSafety       RuleScope
+	LeakCheck        RuleScope
+	LockSafety       RuleScope
+	GoroutineCapture RuleScope
+	CtxFlow          RuleScope
+	SpawnBound       RuleScope
 
 	// UnitExemptDirs are directories (same prefix semantics as RuleScope)
 	// where cross-unit arithmetic and conversions are sanctioned: the
@@ -129,6 +160,22 @@ type Config struct {
 	// range-over-map loop counts as emitting externally visible output in
 	// iteration order (trace events, CSV rows, log lines).
 	EmitNames []string
+
+	// BlockingCalls names calls ("pkg.Type.Method" or "pkg.Func", package
+	// name not path) that locksafety treats as blocking operations: the
+	// engine's stage-execution entry points run real operator compute, and
+	// the service's drain/idle waits park on a condition variable.
+	// sync.WaitGroup.Wait is always blocking and need not be listed.
+	BlockingCalls []string
+	// CtxRootFuncs allowlists functions ("pkgdir.FuncName") sanctioned to
+	// mint context.Background()/TODO() roots in library code; each entry's
+	// justification lives in ARCHITECTURE.md, "Concurrency rules".
+	CtxRootFuncs []string
+	// SpawnJoinFuncs names spawn targets ("pkg.Type.Method" or "pkg.Func")
+	// whose join is owned by the named construct itself (bounded worker
+	// pools); spawnbound accepts `go` statements calling them.
+	SpawnJoinFuncs []string
+
 	// Rules restricts the run to a subset of rule names; empty means all.
 	Rules []string
 }
@@ -163,7 +210,11 @@ func DefaultConfig() Config {
 			"internal/baseline",
 			"internal/obs",
 		}},
-		LeakCheck: RuleScope{Dirs: []string{"internal"}},
+		LeakCheck:        RuleScope{Dirs: []string{"internal"}},
+		LockSafety:       RuleScope{Dirs: []string{"internal", "cmd"}},
+		GoroutineCapture: RuleScope{Dirs: []string{"internal", "cmd"}},
+		CtxFlow:          RuleScope{Dirs: []string{"internal"}},
+		SpawnBound:       RuleScope{Dirs: []string{"internal", "cmd"}},
 
 		UnitExemptDirs: []string{"internal/cluster"},
 		LeakPairs: []LeakPair{
@@ -185,6 +236,25 @@ func DefaultConfig() Config {
 			"trace", "Emit", "Record", "Printf", "Println", "Print",
 			"Fprintf", "Fprintln", "Fprint", "WriteString",
 		},
+
+		BlockingCalls: []string{
+			// Stage execution runs real operator compute (KDE densities,
+			// NN training); holding a service lock across it starves the
+			// HTTP surface.
+			"engine.Run.Step",
+			"engine.Run.RunToCompletion",
+			// The service's lifecycle waits park on its condition variable.
+			"service.Server.Drain",
+			"service.Server.WaitIdle",
+			"service.Server.Close",
+		},
+		CtxRootFuncs: []string{
+			// The service mints per-job roots deliberately detached from
+			// process signals: drain grants each in-flight job a step
+			// budget before cancelling, which a signal-parented context
+			// would cut short. See ARCHITECTURE.md, "Concurrency rules".
+			"internal/service.withDefaults",
+		},
 	}
 }
 
@@ -200,11 +270,117 @@ func (c Config) ruleEnabled(rule string) bool {
 	return false
 }
 
+// StaleAllow reports a //lint:allow directive that suppressed nothing in a
+// run: the violation it excused has been fixed or moved, so the directive
+// should be deleted before it silently hides a future regression. The JSON
+// field names are the stable schema emitted by `mdflint -json`.
+type StaleAllow struct {
+	// File is the file path relative to the module root, slash-separated.
+	File string `json:"file"`
+	// Line is the 1-based line of the //lint:allow comment.
+	Line int `json:"line"`
+	// Rule is the allow entry that suppressed nothing.
+	Rule string `json:"rule"`
+}
+
+// String renders the audit entry in the conventional file:line form.
+func (s StaleAllow) String() string {
+	return fmt.Sprintf("%s:%d: stale //lint:allow %s: suppresses no finding", s.File, s.Line, s.Rule)
+}
+
 // Run executes every enabled analyzer over the module and returns the
 // surviving findings sorted by file, line and rule.
 func Run(m *Module, cfg Config) []Finding {
+	findings, _ := Analyze(m, cfg)
+	return findings
+}
+
+// Analyze is Run plus the suppression audit: the second result lists every
+// //lint:allow entry that suppressed nothing. An entry is only judged when
+// its verdict is meaningful — a known rule must be enabled in this run
+// (otherwise its findings were never produced and the directive may well be
+// load-bearing), while an unknown rule name can never suppress anything and
+// is always stale.
+func Analyze(m *Module, cfg Config) ([]Finding, []StaleAllow) {
+	all := rawFindings(m, cfg)
+
+	// used marks, per file and allow line, the rules that earned their keep.
+	used := map[string]map[int]map[string]bool{}
+	var kept []Finding
+	for _, fd := range all {
+		line, ok := m.suppressingLine(fd)
+		if !ok {
+			kept = append(kept, fd)
+			continue
+		}
+		lines := used[fd.File]
+		if lines == nil {
+			lines = map[int]map[string]bool{}
+			used[fd.File] = lines
+		}
+		rules := lines[line]
+		if rules == nil {
+			rules = map[string]bool{}
+			lines[line] = rules
+		}
+		rules[fd.Rule] = true
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+
+	known := map[string]bool{}
+	for _, r := range Rules() {
+		known[r] = true
+	}
+	var stale []StaleAllow
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for line, rules := range f.allows {
+				for rule := range rules {
+					if known[rule] && !cfg.ruleEnabled(rule) {
+						continue
+					}
+					if used[f.Path][line][rule] {
+						continue
+					}
+					stale = append(stale, StaleAllow{File: f.Path, Line: line, Rule: rule})
+				}
+			}
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i], stale[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return kept, stale
+}
+
+// rawFindings runs the enabled analyzers and returns their unsorted,
+// unsuppressed diagnostics.
+func rawFindings(m *Module, cfg Config) []Finding {
 	var all []Finding
 	for _, pkg := range m.Packages {
+		var blocks map[*types.Func]bool
+		if cfg.ruleEnabled(RuleLockSafety) && pkg.Info != nil {
+			blocks = blockSummary(pkg, cfg)
+		}
 		for _, f := range pkg.Files {
 			if cfg.ruleEnabled(RuleWallclock) && cfg.Wallclock.applies(f.Path, f.IsTest) {
 				all = append(all, checkWallclock(f, cfg)...)
@@ -221,29 +397,22 @@ func Run(m *Module, cfg Config) []Finding {
 			if cfg.ruleEnabled(RuleUnitSafety) && cfg.UnitSafety.applies(f.Path, f.IsTest) {
 				all = append(all, checkUnitSafety(f, cfg)...)
 			}
+			if cfg.ruleEnabled(RuleLockSafety) && cfg.LockSafety.applies(f.Path, f.IsTest) {
+				all = append(all, checkLockSafety(f, cfg, blocks)...)
+			}
+			if cfg.ruleEnabled(RuleGoroutineCapture) && cfg.GoroutineCapture.applies(f.Path, f.IsTest) {
+				all = append(all, checkGoroutineCapture(f, cfg)...)
+			}
+			if cfg.ruleEnabled(RuleCtxFlow) && cfg.CtxFlow.applies(f.Path, f.IsTest) {
+				all = append(all, checkCtxFlow(f, cfg)...)
+			}
 		}
 		if cfg.ruleEnabled(RuleLeakCheck) {
 			all = append(all, checkLeakCheck(pkg, cfg)...)
 		}
-	}
-	var kept []Finding
-	for _, fd := range all {
-		if !m.suppressed(fd) {
-			kept = append(kept, fd)
+		if cfg.ruleEnabled(RuleSpawnBound) {
+			all = append(all, checkSpawnBound(pkg, cfg)...)
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Rule != b.Rule {
-			return a.Rule < b.Rule
-		}
-		return a.Msg < b.Msg
-	})
-	return kept
+	return all
 }

@@ -23,6 +23,12 @@ func fixtureConfig() Config {
 	cfg.UnitSafety = RuleScope{Dirs: []string{"unitsafety"}}
 	cfg.UnitExemptDirs = []string{"unitsafety/costmodel"}
 	cfg.LeakCheck = RuleScope{Dirs: []string{"leakcheck"}}
+	cfg.LockSafety = RuleScope{Dirs: []string{"locksafety"}}
+	cfg.GoroutineCapture = RuleScope{Dirs: []string{"goroutinecapture"}}
+	cfg.CtxFlow = RuleScope{Dirs: []string{"ctxflow"}}
+	cfg.SpawnBound = RuleScope{Dirs: []string{"spawnbound"}}
+	cfg.CtxRootFuncs = []string{"ctxflow.sanctionedRoot"}
+	cfg.SpawnJoinFuncs = []string{"nowait.Pool"}
 	return cfg
 }
 
@@ -141,9 +147,73 @@ func TestRepoIsClean(t *testing.T) {
 	if m.Path != "metadataflow" {
 		t.Fatalf("module path = %q, want metadataflow", m.Path)
 	}
-	findings := Run(m, DefaultConfig())
+	findings, stale := Analyze(m, DefaultConfig())
 	for _, f := range findings {
 		t.Errorf("%s", f)
+	}
+	for _, s := range stale {
+		t.Errorf("%s", s)
+	}
+}
+
+// TestStaleAllows runs the suppression audit over the fixture tree: exactly
+// the stalecheck directives — one for a clean line, one for a rule name
+// that does not exist — are stale; every other fixture allow is
+// load-bearing and must not appear.
+func TestStaleAllows(t *testing.T) {
+	m, err := Load(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stale := Analyze(m, fixtureConfig())
+	var got []string
+	for _, s := range stale {
+		got = append(got, s.String())
+	}
+	want := []string{
+		"stalecheck/stalecheck.go:8: stale //lint:allow locksafety: suppresses no finding",
+		"stalecheck/stalecheck.go:14: stale //lint:allow locksafty: suppresses no finding",
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("stale allows:\n%s\nwant:\n%s", strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+// TestStaleAllowsRespectRuleSubset: restricting the run with -rules must
+// not condemn another rule's directive — its findings were never produced,
+// so the directive may well be load-bearing. Unknown rule names can never
+// suppress and stay stale regardless of the subset.
+func TestStaleAllowsRespectRuleSubset(t *testing.T) {
+	m, err := Load(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fixtureConfig()
+	cfg.Rules = []string{RuleMapOrder}
+	_, stale := Analyze(m, cfg)
+	var got []string
+	for _, s := range stale {
+		got = append(got, s.String())
+	}
+	want := []string{
+		"stalecheck/stalecheck.go:14: stale //lint:allow locksafty: suppresses no finding",
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("stale allows under -rules maporder:\n%s\nwant:\n%s", strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+// TestStaleAllowJSON pins the machine-readable schema `mdflint -json
+// -stale-allows` emits for audit entries.
+func TestStaleAllowJSON(t *testing.T) {
+	s := StaleAllow{File: "internal/engine/exec.go", Line: 7, Rule: RuleLockSafety}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"file":"internal/engine/exec.go","line":7,"rule":"locksafety"}`
+	if string(data) != want {
+		t.Fatalf("Marshal = %s, want %s", data, want)
 	}
 }
 

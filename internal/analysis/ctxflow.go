@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// checkCtxFlow enforces context discipline inside the library packages:
+//
+//   - A function that accepts a context.Context must thread it: calling a
+//     callee that takes a context with a fresh context.Background()/TODO()
+//     (or a nil context) severs the caller's cancellation path — the
+//     engine's Options.Context deadline/drain machinery only works when
+//     every hop passes the same tree.
+//   - context.Background() and context.TODO() are banned outside package
+//     main, tests, and the documented allowlist (cfg.CtxRootFuncs): a
+//     library package that mints its own root silently detaches everything
+//     below it from the caller's lifetime. Sanctioned roots — the service's
+//     per-job roots, which are deliberately not parented on process signals
+//     because drain grants a step budget — are named in the allowlist with
+//     their justification in ARCHITECTURE.md.
+func checkCtxFlow(f *File, cfg Config) []Finding {
+	if f.Pkg == nil || f.Pkg.Info == nil || f.Pkg.Name == "main" || f.IsTest {
+		return nil
+	}
+	allowed := map[string]bool{}
+	for _, fn := range cfg.CtxRootFuncs {
+		allowed[fn] = true
+	}
+	var out []Finding
+	for _, d := range f.AST.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		hasCtxParam := funcHasCtxParam(f, fd)
+		funcKey := f.Pkg.Dir + "." + fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := ctxRootCall(f, call); name != "" {
+				if allowed[funcKey] {
+					return true
+				}
+				msg := fmt.Sprintf("context.%s() in library code detaches callees from the caller's cancellation; accept and thread a ctx instead (sanctioned roots are allowlisted in the analysis config)", name)
+				if hasCtxParam {
+					msg = fmt.Sprintf("context.%s() although %s has a context parameter in scope; thread it instead of minting a fresh root", name, fd.Name.Name)
+				}
+				out = append(out, Finding{File: f.Path, Line: f.line(call.Pos()), Rule: RuleCtxFlow, Msg: msg})
+				return true
+			}
+			out = append(out, checkNilCtxArg(f, fd, call, hasCtxParam)...)
+			return true
+		})
+	}
+	return out
+}
+
+// funcHasCtxParam reports whether the declaration takes a context.Context
+// parameter.
+func funcHasCtxParam(f *File, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if isContextType(f.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxRootCall returns "Background" or "TODO" when the call mints a fresh
+// context root, else "".
+func ctxRootCall(f *File, call *ast.CallExpr) string {
+	fn, _ := resolveCall(f, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		return name
+	}
+	return ""
+}
+
+// checkNilCtxArg reports a literal nil passed at a context-typed parameter
+// position of the callee while the caller has a context in scope.
+func checkNilCtxArg(f *File, fd *ast.FuncDecl, call *ast.CallExpr, hasCtxParam bool) []Finding {
+	if !hasCtxParam {
+		return nil
+	}
+	sig, ok := typeAsSignature(f.TypeOf(call.Fun))
+	if !ok || sig.Variadic() && len(call.Args) > sig.Params().Len() {
+		return nil
+	}
+	var out []Finding
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		if !isContextType(sig.Params().At(i).Type()) {
+			continue
+		}
+		if id, isIdent := ast.Unparen(arg).(*ast.Ident); isIdent && id.Name == "nil" {
+			out = append(out, Finding{
+				File: f.Path, Line: f.line(arg.Pos()), Rule: RuleCtxFlow,
+				Msg: fmt.Sprintf("nil passed for the context parameter although %s has a context in scope; thread it", fd.Name.Name),
+			})
+		}
+	}
+	return out
+}
+
+func typeAsSignature(t types.Type) (*types.Signature, bool) {
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}

@@ -73,7 +73,11 @@ type Module struct {
 	byImportPath map[string]*Package
 }
 
-var allowRe = regexp.MustCompile(`lint:allow\s+([a-zA-Z0-9_,\-]+)`)
+// allowRe matches a //lint:allow directive. Like //go:build, the directive
+// must open the comment — prose that merely mentions `//lint:allow` (doc
+// comments, this line) is not a directive and must not feed the
+// stale-suppression audit.
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([a-zA-Z0-9_,\-]+)`)
 
 // skipDirs are directory names never descended into.
 var skipDirs = map[string]bool{"testdata": true, "vendor": true, ".git": true}
@@ -219,9 +223,10 @@ func allowTable(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
 	return out
 }
 
-// suppressed reports whether a //lint:allow comment on the finding's line
-// or the line directly above covers its rule.
-func (m *Module) suppressed(fd Finding) bool {
+// suppressingLine returns the line of the //lint:allow comment covering the
+// finding — the finding's own line or the line directly above — and whether
+// one exists. The line identifies the directive for the stale-allow audit.
+func (m *Module) suppressingLine(fd Finding) (int, bool) {
 	for _, pkg := range m.Packages {
 		for _, f := range pkg.Files {
 			if f.Path != fd.File {
@@ -229,11 +234,11 @@ func (m *Module) suppressed(fd Finding) bool {
 			}
 			for _, line := range []int{fd.Line, fd.Line - 1} {
 				if rules, ok := f.allows[line]; ok && rules[fd.Rule] {
-					return true
+					return line, true
 				}
 			}
-			return false
+			return 0, false
 		}
 	}
-	return false
+	return 0, false
 }

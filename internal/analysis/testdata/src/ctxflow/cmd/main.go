@@ -1,0 +1,18 @@
+// Command main shows that package main may mint context roots: the process
+// entry point is where the cancellation tree is supposed to start.
+package main
+
+import (
+	"context"
+
+	"fixture/ctxflow"
+)
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error {
+	return ctxflow.NilCtx(ctx)
+}

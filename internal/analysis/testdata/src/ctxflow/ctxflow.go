@@ -1,0 +1,37 @@
+// Package ctxflow is the violating fixture for the ctxflow rule: fresh
+// context roots minted in library code and contexts that are accepted but
+// not threaded.
+package ctxflow
+
+import "context"
+
+func worker(ctx context.Context) error { return ctx.Err() }
+
+// FreshRoot mints a root in a library function with no context in scope.
+func FreshRoot() error {
+	ctx := context.Background() // want:ctxflow
+	return worker(ctx)
+}
+
+// FreshTODO is the TODO variant of the same detachment.
+func FreshTODO() error {
+	return worker(context.TODO()) // want:ctxflow
+}
+
+// DropsParam accepts a context but mints a new root instead of threading
+// it, severing the caller's cancellation path.
+func DropsParam(ctx context.Context) error {
+	return worker(context.Background()) // want:ctxflow
+}
+
+// NilCtx passes a literal nil at the callee's context position although a
+// context is in scope.
+func NilCtx(ctx context.Context) error {
+	return worker(nil) // want:ctxflow
+}
+
+// allowedRoot is suppressed in place with a documented reason.
+func allowedRoot() error {
+	ctx := context.Background() //lint:allow ctxflow -- detached janitor lifetime is deliberate
+	return worker(ctx)
+}

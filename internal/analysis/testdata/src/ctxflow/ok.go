@@ -1,0 +1,31 @@
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// okThread passes the received context straight through.
+func okThread(ctx context.Context) error {
+	return worker(ctx)
+}
+
+// okDerive derives from the received context — the cancellation tree stays
+// connected.
+func okDerive(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return worker(ctx)
+}
+
+// sanctionedRoot is the documented allowlist entry (cfg.CtxRootFuncs):
+// mirrors the service's per-job roots, which are deliberately not parented
+// on process signals because drain grants a step budget before cancel.
+func sanctionedRoot() context.Context {
+	return context.Background()
+}
+
+// okUseSanctioned consumes the sanctioned root without minting one itself.
+func okUseSanctioned() error {
+	return worker(sanctionedRoot())
+}

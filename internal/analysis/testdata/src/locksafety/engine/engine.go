@@ -1,0 +1,17 @@
+// Package engine is the fixture stand-in for the real engine: its Run.Step
+// and Run.RunToCompletion match the BlockingCalls config entries
+// ("engine.Run.Step" keys on the package *name*, so the fixture and the
+// real module share one vocabulary).
+package engine
+
+// Run mimics the engine's run handle.
+type Run struct{ n int }
+
+// Step executes one stage of real operator compute.
+func (r *Run) Step() bool { r.n++; return r.n < 3 }
+
+// RunToCompletion drives Step to the end.
+func (r *Run) RunToCompletion() {
+	for r.Step() {
+	}
+}

@@ -1,0 +1,14 @@
+// Package nowait supplies out-of-package spawn targets for the spawnbound
+// fixture: Detached is opaque and unsanctioned, Pool is the sanctioned
+// bounded-worker construct named in cfg.SpawnJoinFuncs.
+package nowait
+
+// Detached runs forever with no completion signal.
+func Detached() {
+	for {
+	}
+}
+
+// Pool is a bounded-worker entry point whose join lives inside the
+// construct; the fixture config sanctions it as "nowait.Pool".
+func Pool() {}

@@ -1,0 +1,15 @@
+// Package stalecheck exercises the stale-suppression audit: no directive in
+// this file suppresses anything, so every one must be reported by
+// Analyze's second result (and none may turn into a finding).
+package stalecheck
+
+// Clean carries an allow for a rule that finds nothing on this line.
+func Clean() int {
+	x := 1 //lint:allow locksafety -- stale: the copy it once excused is gone
+	return x
+}
+
+// Typo carries a rule name that does not exist; it can never suppress.
+func Typo() int {
+	return 2 //lint:allow locksafty
+}

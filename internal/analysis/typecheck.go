@@ -96,7 +96,7 @@ func (imp *moduleImporter) check(pkg *Package) *types.Package {
 	}
 	// Check's error only repeats the first error already delivered to the
 	// Error callback; the aggregate lives in pkg.TypeErrs.
-	tpkg, _ := conf.Check(pkg.ImportPath, imp.m.fset, files, info) //lint:allow droppederr
+	tpkg, _ := conf.Check(pkg.ImportPath, imp.m.fset, files, info) //lint:allow droppederr -- partial type info is useful; TypeErrs records why
 	pkg.TypesPkg = tpkg
 	pkg.Info = info
 	return tpkg

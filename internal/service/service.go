@@ -67,6 +67,14 @@ type Config struct {
 	// DrainStepBudget is how many more engine steps each active job may
 	// take once draining starts before it is canceled and checkpointed.
 	DrainStepBudget int
+	// BaseContext is the root from which per-job contexts are derived;
+	// nil defaults to context.Background(). Job lifetimes are deliberately
+	// NOT parented on the process signal context: drain grants each active
+	// job DrainStepBudget more steps before cancelling, and a signal-
+	// parented root would cancel every job instantly at shutdown and break
+	// that budget. withDefaults is the single sanctioned context root in
+	// library code (see the ctxflow allowlist and ARCHITECTURE.md).
+	BaseContext context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +105,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainStepBudget <= 0 {
 		c.DrainStepBudget = 4
+	}
+	if c.BaseContext == nil {
+		c.BaseContext = context.Background()
 	}
 	return c
 }
@@ -240,6 +251,10 @@ type counters struct {
 type Server struct {
 	cfg Config
 
+	// done is closed by the step loop on exit; Close joins on it so no
+	// goroutine outlives the server.
+	done chan struct{}
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queue   *scheduler.CrossJobQueue
@@ -271,6 +286,7 @@ func newServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:         cfg,
+		done:        make(chan struct{}),
 		queue:       scheduler.NewCrossJobQueue(cfg.QueueCap, cfg.AgeEvery),
 		quotas:      memorymgr.NewTenantQuotas(cfg.TenantQuota),
 		jobs:        make(map[string]*job),
@@ -437,7 +453,7 @@ func (s *Server) Drain() *obs.Snapshot {
 	return s.metricsLocked()
 }
 
-// Close drains the server and stops the step loop.
+// Close drains the server, stops the step loop and joins it.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.draining = true
@@ -448,6 +464,7 @@ func (s *Server) Close() {
 	s.stopped = true
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	<-s.done
 }
 
 func (s *Server) hasWorkLocked() bool {
@@ -455,8 +472,17 @@ func (s *Server) hasWorkLocked() bool {
 }
 
 // loop is the step loop: the single goroutine that admits queued jobs and
-// advances engine runs, one deterministic step at a time, under s.mu.
+// advances engine runs, one deterministic step at a time. Scheduling
+// decisions happen under s.mu, but the engine Step itself runs with the
+// lock released: Step executes real operator compute, and holding the
+// service lock across it would block the whole HTTP surface (submit,
+// status, health) for the duration of a stage. The run handle is owned
+// exclusively by this goroutine while the job is active — nothing outside
+// the step path touches j.run, and cancellation is delivered through the
+// job's context, which is safe to fire concurrently — so the unlocked
+// window introduces no races.
 func (s *Server) loop() {
+	defer close(s.done)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
@@ -467,7 +493,16 @@ func (s *Server) loop() {
 			return
 		}
 		s.admitLocked()
-		s.stepLocked()
+		if j := s.nextStepLocked(); j != nil {
+			run := j.run
+			s.mu.Unlock()
+			alive := run.Step()
+			s.mu.Lock()
+			if !alive {
+				s.removeActiveLocked(j)
+				s.finalizeRunLocked(j)
+			}
+		}
 		s.cond.Broadcast()
 	}
 }
@@ -510,7 +545,7 @@ func (s *Server) startLocked(j *job) error {
 	if err != nil {
 		return err
 	}
-	ctx, cancel := context.WithCancelCause(context.Background())
+	ctx, cancel := context.WithCancelCause(s.cfg.BaseContext)
 	run, err := engine.NewRun(plan, engine.Options{
 		Cluster: cl,
 		Policy:  memorymgr.AMM,
@@ -532,12 +567,13 @@ func (s *Server) startLocked(j *job) error {
 	return nil
 }
 
-// stepLocked advances the active run that is earliest in virtual time by
-// one stage, enforcing deadlines and the drain step budget at the
-// scheduling boundary, and finalizes the run when it stops.
-func (s *Server) stepLocked() {
+// nextStepLocked picks the active run that is earliest in virtual time and
+// applies deadline and drain-budget cancellation at the scheduling
+// boundary. The caller (the step loop) performs the actual engine Step
+// with s.mu released and finalizes the run when it stops.
+func (s *Server) nextStepLocked() *job {
 	if len(s.active) == 0 {
-		return
+		return nil
 	}
 	idx := 0
 	for i := 1; i < len(s.active); i++ {
@@ -556,11 +592,19 @@ func (s *Server) stepLocked() {
 		}
 		j.drainSteps++
 	}
-	if j.run.Step() {
-		return
+	return j
+}
+
+// removeActiveLocked drops a finished job from the active set. Only the
+// step loop mutates s.active, but the job is re-found by identity rather
+// than index so the removal cannot go stale.
+func (s *Server) removeActiveLocked(j *job) {
+	for i, a := range s.active {
+		if a == j {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			return
+		}
 	}
-	s.active = append(s.active[:idx], s.active[idx+1:]...)
-	s.finalizeRunLocked(j)
 }
 
 // finalizeRunLocked classifies a stopped run and either retires the job or
