@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help build test vet lint race race-short experiments-quick fuzz-short chaos-short chaos serve-short bench-baseline ci clean
+.PHONY: all help build test vet lint specvet race race-short experiments-quick fuzz-short chaos-short chaos serve-short bench-baseline ci clean
 
 all: build
 
@@ -11,6 +11,7 @@ help:
 	@echo "  test              go test ./..."
 	@echo "  vet               go vet ./..."
 	@echo "  lint              mdflint: determinism, unit and concurrency rules (exits nonzero on findings)"
+	@echo "  specvet           mdfplan: canonical-form + plan-verifier gate on every committed spec"
 	@echo "  race              full test suite under the race detector"
 	@echo "  race-short        focused -race -short -count=1 gate on the concurrent packages (service, engine, scheduler)"
 	@echo "  experiments-quick regenerate the resilience experiment CSVs in quick mode"
@@ -19,7 +20,7 @@ help:
 	@echo "  chaos             long randomized chaos sweep (CHAOS_SEED, CHAOS_TRIALS)"
 	@echo "  serve-short       service-layer tests (admission, quotas, drain, HTTP)"
 	@echo "  bench-baseline    regenerate BENCH_*.json and fail on drift"
-	@echo "  ci                the merge gate: vet lint build race race-short chaos-short experiments-quick serve-short bench-baseline"
+	@echo "  ci                the merge gate: vet lint specvet build race race-short chaos-short experiments-quick serve-short bench-baseline"
 
 build:
 	$(GO) build ./...
@@ -34,6 +35,16 @@ vet:
 # suppression comments.
 lint:
 	$(GO) run ./cmd/mdflint -stale-allows ./...
+
+# specvet runs mdfplan, the plan-level verifier (see ARCHITECTURE.md "Spec
+# canonical form and plan vetting"), over every committed spec document:
+# examples and the canonical golden fixtures must be in canonical form,
+# pass the full rule battery, and carry no stale allow entries. The seeded
+# defect fixtures under internal/plan/testdata are deliberately excluded —
+# they exist to be condemned.
+specvet: build
+	$(GO) run ./cmd/mdfplan -canonical -stale-allows \
+		examples/specs/*.json internal/spec/testdata/canonical/*.json
 
 test:
 	$(GO) test ./...
@@ -59,6 +70,7 @@ experiments-quick: build
 # checked-in corpora (testdata/fuzz); longer runs use -fuzztime directly.
 fuzz-short:
 	$(GO) test ./internal/spec -run='^$$' -fuzz=FuzzParse -fuzztime=5s
+	$(GO) test ./internal/spec -run='^$$' -fuzz=FuzzCanonical -fuzztime=5s
 	$(GO) test ./internal/faults -run='^$$' -fuzz=FuzzParse -fuzztime=5s
 
 # chaos-short is the deterministic chaos gate: a fixed-seed 50-trial sweep
@@ -101,7 +113,7 @@ bench-baseline: build
 	@rm -f .bench-stragglers.prev.json .bench-recovery.prev.json
 
 # ci is the gate a change must pass before merging.
-ci: vet lint build race race-short chaos-short experiments-quick serve-short bench-baseline
+ci: vet lint specvet build race race-short chaos-short experiments-quick serve-short bench-baseline
 
 clean:
 	$(GO) clean ./...

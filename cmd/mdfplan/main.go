@@ -1,0 +1,228 @@
+// Command mdfplan runs the plan-level static verifier (internal/plan) over
+// MDF spec files: it proves jobs degenerate, dead, or inadmissible from the
+// plan alone, checks that documents are in canonical form, and prints
+// content-hash reports. It is the spec-document sibling of mdflint (which
+// vets the repo's Go source) and prints the same `location: [rule] message`
+// diagnostic shape, so `make specvet` can gate on it.
+//
+// Usage:
+//
+//	mdfplan spec.json ...                 # run the verifier battery
+//	mdfplan -rules memfeasible spec.json  # a subset of rules
+//	mdfplan -canonical spec.json ...      # also require canonical form
+//	mdfplan -canonical -write spec.json   # rewrite files into canonical form
+//	mdfplan -hash spec.json               # print the content-hash report
+//	mdfplan -json spec.json               # one JSON finding object per line
+//	mdfplan -stale-allows spec.json       # audit the spec's "allow" entries
+//	mdfplan -list                         # list the rules
+//
+// The memory-feasibility rule checks the plan against a cluster shape;
+// -workers, -mem-gb and -quota-mb configure it and default to the engine
+// defaults (8 workers, 10 GB each, no tenant quota) — mdfserve runs the
+// same battery at admission with its own configuration, so a spec that
+// passes here can still be rejected by a smaller service.
+//
+// With -stale-allows the run additionally reports every "allow" entry that
+// suppressed nothing (informational; does not affect the exit code). With
+// -json each finding is one {"file":...,"path":...,"rule":...,"msg":...}
+// object per line.
+//
+// Exit codes: 0 clean, 1 findings (including parse failures and, under
+// -canonical, non-canonical documents), 2 usage or I/O errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"metadataflow/internal/plan"
+	"metadataflow/internal/sim"
+	"metadataflow/internal/spec"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// fileFinding is the -json wire shape: a plan.Finding plus the file it
+// came from, since one run may cover many spec documents.
+type fileFinding struct {
+	File string `json:"file"`
+	Path string `json:"path,omitempty"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// realMain is main with its streams and exit code lifted out so the CLI
+// contract — flag handling, output shape, exit codes — is testable.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mdfplan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		rules       = fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		list        = fs.Bool("list", false, "list the available rules and exit")
+		jsonMode    = fs.Bool("json", false, "emit findings as one JSON object per line")
+		staleAllows = fs.Bool("stale-allows", false, "also report \"allow\" entries that suppress nothing (informational; does not affect the exit code)")
+		canonical   = fs.Bool("canonical", false, "also require each document to be in canonical form")
+		write       = fs.Bool("write", false, "with -canonical, rewrite non-canonical files in place instead of reporting them")
+		hashMode    = fs.Bool("hash", false, "print each spec's content-hash report instead of verifying")
+		workers     = fs.Int("workers", 8, "cluster shape for memory feasibility: simulated worker nodes")
+		memGB       = fs.Int64("mem-gb", 10, "cluster shape for memory feasibility: memory per worker in GB")
+		quotaMB     = fs.Int64("quota-mb", 0, "tenant quota in MB for admission feasibility (0 = no quota checks)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mdfplan [-rules r1,r2] [-canonical [-write]] [-hash] [-json] [-stale-allows] [-list] spec.json ...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, r := range plan.Rules() {
+			fmt.Fprintln(stdout, r)
+		}
+		return 0
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "mdfplan: no spec files")
+		fs.Usage()
+		return 2
+	}
+	if *write && !*canonical {
+		fmt.Fprintln(stderr, "mdfplan: -write requires -canonical")
+		fs.Usage()
+		return 2
+	}
+
+	cfg := plan.Config{
+		MaxIterateRounds: plan.DefaultConfig().MaxIterateRounds,
+		Workers:          *workers,
+		MemPerWorker:     sim.Bytes(*memGB) * 1000 * 1000 * 1000,
+		TenantQuota:      sim.Bytes(*quotaMB) * 1000 * 1000,
+	}
+	if *rules != "" {
+		known := map[string]bool{}
+		for _, r := range plan.Rules() {
+			known[r] = true
+		}
+		for _, r := range strings.Split(*rules, ",") {
+			r = strings.TrimSpace(r)
+			if !known[r] {
+				fmt.Fprintf(stderr, "mdfplan: unknown rule %q\nvalid rules: %s\n",
+					r, strings.Join(plan.Rules(), ", "))
+				fs.Usage()
+				return 2
+			}
+			cfg.Rules = append(cfg.Rules, r)
+		}
+	}
+
+	enc := json.NewEncoder(stdout)
+	emit := func(file string, f plan.Finding) int {
+		if *jsonMode {
+			if err := enc.Encode(fileFinding{File: file, Path: f.Path, Rule: f.Rule, Msg: f.Msg}); err != nil {
+				fmt.Fprintln(stderr, "mdfplan:", err)
+				return 2
+			}
+		} else {
+			fmt.Fprintf(stdout, "%s: %s\n", file, f)
+		}
+		return 0
+	}
+
+	n := 0
+	for _, file := range fs.Args() {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(stderr, "mdfplan:", err)
+			return 2
+		}
+		s, err := spec.Parse(data)
+		if err != nil {
+			// A document that does not parse is condemned, not a tool
+			// failure: report it like a finding so a sweep over many
+			// files covers the rest before exiting 1.
+			if rc := emit(file, plan.Finding{Rule: "parse", Msg: err.Error()}); rc != 0 {
+				return rc
+			}
+			n++
+			continue
+		}
+
+		if *hashMode {
+			rep := s.HashReport()
+			if *jsonMode {
+				if err := enc.Encode(struct {
+					File string `json:"file"`
+					*spec.HashReport
+				}{file, rep}); err != nil {
+					fmt.Fprintln(stderr, "mdfplan:", err)
+					return 2
+				}
+			} else {
+				fmt.Fprintf(stdout, "%s: %s\n", file, rep.Spec)
+			}
+			continue
+		}
+
+		if *canonical {
+			canon, err := s.Canonicalize()
+			if err != nil {
+				fmt.Fprintln(stderr, "mdfplan:", err)
+				return 2
+			}
+			if !bytes.Equal(canon, data) {
+				if *write {
+					if err := os.WriteFile(file, canon, 0o644); err != nil {
+						fmt.Fprintln(stderr, "mdfplan:", err)
+						return 2
+					}
+					fmt.Fprintf(stderr, "mdfplan: rewrote %s\n", file)
+				} else {
+					if rc := emit(file, plan.Finding{Rule: "canonical", Msg: "document is not in canonical form (run mdfplan -canonical -write)"}); rc != 0 {
+						return rc
+					}
+					n++
+				}
+			}
+		}
+
+		res, err := plan.Verify(s, cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "mdfplan:", err)
+			return 2
+		}
+		for _, f := range res.Findings {
+			if rc := emit(file, f); rc != 0 {
+				return rc
+			}
+			n++
+		}
+		if *staleAllows {
+			for _, st := range res.StaleAllows {
+				if *jsonMode {
+					if err := enc.Encode(struct {
+						File string `json:"file"`
+						Rule string `json:"rule"`
+					}{file, st.Rule}); err != nil {
+						fmt.Fprintln(stderr, "mdfplan:", err)
+						return 2
+					}
+				} else {
+					fmt.Fprintf(stdout, "%s: %s\n", file, st)
+				}
+			}
+		}
+	}
+	if n > 0 {
+		fmt.Fprintf(stderr, "mdfplan: %d finding(s)\n", n)
+		return 1
+	}
+	return 0
+}

@@ -29,6 +29,7 @@ import (
 	"metadataflow/internal/graph"
 	"metadataflow/internal/memorymgr"
 	"metadataflow/internal/obs"
+	"metadataflow/internal/plan"
 	"metadataflow/internal/scheduler"
 	"metadataflow/internal/sim"
 	"metadataflow/internal/spec"
@@ -56,6 +57,7 @@ func main() {
 		spills      = flag.Bool("spills", false, "print the top spilled datasets")
 		speculative = flag.Bool("speculative", false, "enable speculative straggler mitigation")
 		faultSpec   = flag.String("faults", "", "fault plan: inline JSON (starts with '{') or a path to a JSON file; mdf mode only")
+		vetPlan     = flag.Bool("vet", false, "statically verify the -spec plan (internal/plan battery) against this run's cluster shape before executing; findings abort the run")
 	)
 	flag.Parse()
 	// SIGINT/SIGTERM cancel the run at its next scheduling boundary; the
@@ -63,7 +65,7 @@ func main() {
 	// process exits with the conventional interrupt status 130.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *job, *specPath, *sched, *policy, *incremental, *workers, *memGB, *mode, *seed, *trace, *traceJSON, *metricsOut, *explain, *spills, *speculative, *faultSpec); err != nil {
+	if err := run(ctx, *job, *specPath, *sched, *policy, *incremental, *workers, *memGB, *mode, *seed, *trace, *traceJSON, *metricsOut, *explain, *spills, *speculative, *faultSpec, *vetPlan); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		if errors.Is(err, errUsage) {
 			fmt.Fprintln(os.Stderr, "run 'mdfrun -h' for the accepted flag values")
@@ -139,7 +141,10 @@ func replayRepro(r *chaos.Repro) error {
 	return fmt.Errorf("%w: chaos repro reproduces: oracle %s, %d violation(s)", errOracle, vs[0].Oracle, len(vs))
 }
 
-func run(ctx context.Context, job, specPath, sched, policy string, incremental bool, workers int, memGB int64, mode string, seed int64, trace bool, traceJSON, metricsOut string, explain, spills, speculative bool, faultSpec string) error {
+func run(ctx context.Context, job, specPath, sched, policy string, incremental bool, workers int, memGB int64, mode string, seed int64, trace bool, traceJSON, metricsOut string, explain, spills, speculative bool, faultSpec string, vetPlan bool) error {
+	if vetPlan && specPath == "" {
+		return usageErrorf("mdfrun: -vet requires -spec (the built-in -job workloads have no spec document to verify)")
+	}
 	var g *graph.Graph
 	var err error
 	if specPath != "" {
@@ -150,6 +155,23 @@ func run(ctx context.Context, job, specPath, sched, policy string, incremental b
 		s, perr := spec.Parse(data)
 		if perr != nil {
 			return perr
+		}
+		if vetPlan {
+			// Verify against the cluster this run would actually use, so a
+			// memfeasible finding here is a proof the run below cannot fit.
+			cfg := plan.DefaultConfig()
+			cfg.Workers = workers
+			cfg.MemPerWorker = sim.Bytes(memGB) << 30
+			res, verr := plan.Verify(s, cfg)
+			if verr != nil {
+				return verr
+			}
+			if len(res.Findings) > 0 {
+				for _, f := range res.Findings {
+					fmt.Fprintf(os.Stderr, "%s: %s\n", specPath, f)
+				}
+				return fmt.Errorf("mdfrun: plan vetting failed: %d finding(s)", len(res.Findings))
+			}
 		}
 		g, err = s.Compile()
 	} else {
@@ -209,7 +231,7 @@ func run(ctx context.Context, job, specPath, sched, policy string, incremental b
 
 	switch {
 	case mode == "mdf":
-		plan, err := graph.BuildPlan(g)
+		execPlan, err := graph.BuildPlan(g)
 		if err != nil {
 			return err
 		}
@@ -224,7 +246,7 @@ func run(ctx context.Context, job, specPath, sched, policy string, incremental b
 			rec = obs.NewRecorder()
 			opts.Probe = rec
 		}
-		runr, err := engine.NewRun(plan, opts, 0)
+		runr, err := engine.NewRun(execPlan, opts, 0)
 		if err != nil {
 			return err
 		}

@@ -41,15 +41,16 @@ func main() {
 		deadlineSec  = flag.Float64("deadline-sec", 0, "default per-job virtual deadline in simulated seconds (0 = none)")
 		drainBudget  = flag.Int("drain-steps", 4, "engine steps granted to each in-flight job during drain before checkpointing")
 		drainMetrics = flag.String("drain-metrics", "", "write the final aggregated metrics snapshot to this file on shutdown")
+		noVet        = flag.Bool("no-vet", false, "skip plan vetting at admission (by default specs the verifier condemns are rejected with 400 before any quota is reserved)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *memMB, *quotaMB, *queueCap, *maxActive, *deadlineSec, *drainBudget, *drainMetrics); err != nil {
+	if err := run(*addr, *workers, *memMB, *quotaMB, *queueCap, *maxActive, *deadlineSec, *drainBudget, *drainMetrics, *noVet); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers int, memMB, quotaMB int64, queueCap, maxActive int, deadlineSec float64, drainBudget int, drainMetrics string) error {
+func run(addr string, workers int, memMB, quotaMB int64, queueCap, maxActive int, deadlineSec float64, drainBudget int, drainMetrics string, noVet bool) error {
 	srv := service.New(service.Config{
 		Workers:         workers,
 		MemPerWorker:    sim.Bytes(memMB) << 20,
@@ -58,6 +59,7 @@ func run(addr string, workers int, memMB, quotaMB int64, queueCap, maxActive int
 		MaxActive:       maxActive,
 		DeadlineSec:     deadlineSec,
 		DrainStepBudget: drainBudget,
+		DisableVet:      noVet,
 	})
 
 	ln, err := net.Listen("tcp", addr)

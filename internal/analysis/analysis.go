@@ -196,6 +196,8 @@ func DefaultConfig() Config {
 			"internal/chaos",
 			"internal/mdf",
 			"internal/obs",
+			"internal/spec",
+			"internal/plan",
 		}},
 		SeededRand: RuleScope{Dirs: []string{"internal"}, IncludeTests: true},
 		MapOrder:   RuleScope{Dirs: []string{"internal"}},
@@ -209,6 +211,7 @@ func DefaultConfig() Config {
 			"internal/stats",
 			"internal/baseline",
 			"internal/obs",
+			"internal/plan",
 		}},
 		LeakCheck:        RuleScope{Dirs: []string{"internal"}},
 		LockSafety:       RuleScope{Dirs: []string{"internal", "cmd"}},

@@ -1,0 +1,219 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"metadataflow/internal/spec"
+)
+
+// This file is the abstract interpreter the value-flow rules share: every
+// row value is abstracted to one closed interval [lo, hi] (bounds may be
+// ±Inf) plus an explicit empty state, and the pipeline is walked from the
+// source down with per-operator transfer functions. The domain is coarse on
+// purpose — it only has to be sound: when a transfer proves a result empty
+// (a filter whose passing set is disjoint from the input interval) or
+// bounded (an iterate whose post-fixpoint interval stays under a divergence
+// threshold), the proof holds for every concrete execution, so emptyfilter
+// and degeniterate findings are never false positives. Anything the domain
+// cannot bound widens to top and produces no finding.
+
+// valRange is one abstract value: the closed interval [lo, hi], or empty.
+type valRange struct {
+	lo, hi float64
+	empty  bool
+}
+
+func top() valRange        { return valRange{lo: math.Inf(-1), hi: math.Inf(1)} }
+func emptyRange() valRange { return valRange{empty: true} }
+func (r valRange) abs() (lo, hi float64) {
+	if r.lo <= 0 && 0 <= r.hi {
+		return 0, math.Max(-r.lo, r.hi)
+	}
+	return math.Min(math.Abs(r.lo), math.Abs(r.hi)), math.Max(math.Abs(r.lo), math.Abs(r.hi))
+}
+
+// String renders the interval for finding messages.
+func (r valRange) String() string {
+	if r.empty {
+		return "∅"
+	}
+	return fmt.Sprintf("[%g, %g]", r.lo, r.hi)
+}
+
+func (r valRange) contains(o valRange) bool {
+	return o.empty || (!r.empty && r.lo <= o.lo && o.hi <= r.hi)
+}
+
+func hullAll(rs []valRange) valRange {
+	out := emptyRange()
+	for _, r := range rs {
+		if r.empty {
+			continue
+		}
+		if out.empty {
+			out = r
+			continue
+		}
+		out.lo = math.Min(out.lo, r.lo)
+		out.hi = math.Max(out.hi, r.hi)
+	}
+	return out
+}
+
+// sourceRange is the abstract value of the source dataset. Only the uniform
+// generator has bounded support; normal and bimodal tails are unbounded and
+// file contents are unknown, so both widen to top.
+func sourceRange(src spec.Source) valRange {
+	if src.File == "" && src.Distribution == "uniform" {
+		return valRange{lo: -1, hi: 1}
+	}
+	return top()
+}
+
+// stepEvent is one visited step: its path, the abstract value entering and
+// leaving it, and what the transfer proved.
+type stepEvent struct {
+	Path   string
+	Step   spec.Step
+	Params map[string]float64
+	In     valRange
+	Out    valRange
+	// IterStable is set for iterate steps whose transfer reached a
+	// post-fixpoint, making Out a sound bound for every round.
+	IterStable bool
+	// ProvedEmpty marks the step that first proves its output empty on a
+	// non-empty input (downstream steps inherit empty without the mark).
+	ProvedEmpty bool
+}
+
+// walkPipeline walks a *normalized* spec in document order (explore bodies
+// before the explore's own event), propagating intervals, and calls visit
+// for every step.
+func walkPipeline(n *spec.Spec, visit func(stepEvent)) {
+	walkSteps("pipeline", n.Pipeline, nil, sourceRange(n.Source), visit)
+}
+
+func walkSteps(prefix string, steps []spec.Step, params map[string]float64, in valRange, visit func(stepEvent)) valRange {
+	for i, st := range steps {
+		path := fmt.Sprintf("%s[%d]", prefix, i)
+		e := stepEvent{Path: path, Step: st, Params: params, In: in}
+		switch {
+		case st.Op != nil:
+			e.Out, e.ProvedEmpty = opTransfer(*st.Op, params, in)
+		case st.Iterate != nil:
+			e.Out, e.IterStable, e.ProvedEmpty = iterateTransfer(*st.Iterate, params, in)
+		case st.Explore != nil:
+			ex := st.Explore
+			outs := make([]valRange, len(ex.Branches))
+			for j, br := range ex.Branches {
+				outs[j] = walkSteps(fmt.Sprintf("%s.explore.branch[%d].body", path, j),
+					ex.Body, br.Params, in, visit)
+			}
+			// The choose keeps some subset of the branch results, so the
+			// explore's output lies within the hull of the branch outputs.
+			e.Out = hullAll(outs)
+		}
+		visit(e)
+		in = e.Out
+	}
+	return in
+}
+
+// resolvedOpParams applies ParamKey indirection the way opFunc does,
+// returning the effective affine/filter parameters.
+func resolvedOpParams(op spec.OpStep, params map[string]float64) (a, b, limit float64) {
+	a, b, limit = op.A, op.B, op.Limit
+	if op.ParamKey != "" {
+		if v, ok := params[op.ParamKey]; ok {
+			switch op.Fn {
+			case "affine":
+				a = v
+			case "filter-less", "filter-greater", "filter-absless":
+				limit = v
+			}
+		}
+	}
+	return a, b, limit
+}
+
+// opTransfer is the per-operator abstract transfer. provedEmpty is set only
+// when a non-empty input is proven to produce an empty output.
+func opTransfer(op spec.OpStep, params map[string]float64, in valRange) (out valRange, provedEmpty bool) {
+	if in.empty {
+		return in, false
+	}
+	a, b, limit := resolvedOpParams(op, params)
+	switch op.Fn {
+	case "identity":
+		return in, false
+	case "affine":
+		if a == 0 {
+			return valRange{lo: b, hi: b}, false
+		}
+		lo, hi := a*in.lo+b, a*in.hi+b
+		if a < 0 {
+			lo, hi = hi, lo
+		}
+		return valRange{lo: lo, hi: hi}, false
+	case "square":
+		alo, ahi := in.abs()
+		return valRange{lo: alo * alo, hi: ahi * ahi}, false
+	case "abs":
+		alo, ahi := in.abs()
+		return valRange{lo: alo, hi: ahi}, false
+	case "normalize":
+		return valRange{lo: 0, hi: 1}, false
+	case "standardize":
+		return top(), false
+	case "filter-less":
+		// Keeps x < limit: empty when every input value is >= limit.
+		if limit <= in.lo {
+			return emptyRange(), true
+		}
+		return valRange{lo: in.lo, hi: math.Min(in.hi, limit)}, false
+	case "filter-greater":
+		// Keeps x > limit: empty when every input value is <= limit.
+		if limit >= in.hi {
+			return emptyRange(), true
+		}
+		return valRange{lo: math.Max(in.lo, limit), hi: in.hi}, false
+	case "filter-absless":
+		// Keeps |x| < limit: empty when no input magnitude is below it.
+		alo, _ := in.abs()
+		if limit <= alo {
+			return emptyRange(), true
+		}
+		return valRange{lo: math.Max(in.lo, -limit), hi: math.Min(in.hi, limit)}, false
+	default:
+		return top(), false
+	}
+}
+
+// iterateTransfer abstracts Rounds applications of the iterate's operator.
+// One application gives the state after round one; if a second application
+// stays inside it (a post-fixpoint), that interval bounds every later round
+// and stable is true. Otherwise the values may grow round over round and
+// the result widens to top.
+func iterateTransfer(it spec.IterateStep, params map[string]float64, in valRange) (out valRange, stable bool, provedEmpty bool) {
+	if in.empty {
+		return in, true, false
+	}
+	r1, e1 := opTransfer(it.Op, params, in)
+	if e1 {
+		return r1, true, true
+	}
+	if it.Rounds == 1 {
+		return r1, true, false
+	}
+	r2, e2 := opTransfer(it.Op, params, r1)
+	if e2 {
+		// The second round provably empties the data; with Rounds >= 2 the
+		// iterate output is empty.
+		return r2, true, true
+	}
+	if r1.contains(r2) {
+		return r1, true, false
+	}
+	return top(), false, false
+}

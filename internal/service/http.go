@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/plan"
 )
 
 // This file maps the server's typed errors onto the HTTP surface:
@@ -33,6 +34,14 @@ const retryAfterSec = "1"
 
 type errorBody struct {
 	Error string `json:"error"`
+}
+
+// vetErrorBody is the 400 body for plan-vetting rejections: the error line
+// plus every finding as a structured object, so clients can map diagnostics
+// back to spec paths without parsing prose.
+type vetErrorBody struct {
+	Error    string         `json:"error"`
+	Findings []plan.Finding `json:"findings"`
 }
 
 // Handler returns the service's HTTP handler.
@@ -78,9 +87,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Submit(req)
 	if err != nil {
 		var reqErr *RequestError
+		var vet *VetError
 		var quarantine *QuarantineError
 		var quota *memorymgr.QuotaError
 		switch {
+		case errors.As(err, &vet):
+			writeJSON(w, http.StatusBadRequest, vetErrorBody{Error: vet.Error(), Findings: vet.Findings})
 		case errors.As(err, &reqErr):
 			writeError(w, http.StatusBadRequest, err)
 		case errors.As(err, &quarantine):

@@ -29,6 +29,7 @@ func (s *Server) metricsLocked() *obs.Snapshot {
 	m.AddCounter("service.jobs_submitted", s.ctr.submitted)
 	m.AddCounter("service.jobs_shed", s.ctr.shed)
 	m.AddCounter("service.jobs_quota_rejected", s.ctr.quotaRejected)
+	m.AddCounter("service.jobs_vet_rejected", s.ctr.vetRejected)
 	m.AddCounter("service.jobs_quarantine_rejected", s.ctr.quarantineRejected)
 	m.AddCounter("service.jobs_drain_rejected", s.ctr.drainRejected)
 	m.AddCounter("service.jobs_done", s.ctr.done)

@@ -26,6 +26,7 @@ import (
 	"metadataflow/internal/graph"
 	"metadataflow/internal/memorymgr"
 	"metadataflow/internal/obs"
+	"metadataflow/internal/plan"
 	"metadataflow/internal/scheduler"
 	"metadataflow/internal/sim"
 	"metadataflow/internal/spec"
@@ -67,6 +68,11 @@ type Config struct {
 	// DrainStepBudget is how many more engine steps each active job may
 	// take once draining starts before it is canceled and checkpointed.
 	DrainStepBudget int
+	// DisableVet turns off plan vetting at admission. By default every
+	// submitted spec runs the internal/plan rule battery — against this
+	// config's cluster shape and tenant quota — and findings reject the
+	// submission with a *VetError (HTTP 400) before any quota is reserved.
+	DisableVet bool
 	// BaseContext is the root from which per-job contexts are derived;
 	// nil defaults to context.Background(). Job lifetimes are deliberately
 	// NOT parented on the process signal context: drain grants each active
@@ -163,6 +169,23 @@ func (e *QuarantineError) Error() string {
 	return fmt.Sprintf("service: tenant %q quarantined for %d more job completions", e.Tenant, e.CooldownJobs)
 }
 
+// VetError rejects a submission whose spec failed plan vetting (HTTP 400
+// with the findings as structured diagnostics). The job was never admitted
+// and no quota was reserved.
+type VetError struct {
+	// Findings are the surviving plan-verifier diagnostics.
+	Findings []plan.Finding
+}
+
+// Error implements the error interface.
+func (e *VetError) Error() string {
+	msg := fmt.Sprintf("service: spec rejected by plan vetting: %d finding(s)", len(e.Findings))
+	if len(e.Findings) > 0 {
+		msg += ": " + e.Findings[0].String()
+	}
+	return msg
+}
+
 // RequestError marks a malformed submission (HTTP 400).
 type RequestError struct{ Err error }
 
@@ -202,12 +225,12 @@ type job struct {
 	drainSteps int
 
 	// Terminal state.
-	end           sim.VTime
-	snapshot      *obs.Snapshot
-	checkpointed  int
-	auditLineage  []string
-	auditBooks    []string
-	selections    map[string][]int
+	end          sim.VTime
+	snapshot     *obs.Snapshot
+	checkpointed int
+	auditLineage []string
+	auditBooks   []string
+	selections   map[string][]int
 }
 
 func (j *job) terminal() bool {
@@ -242,6 +265,7 @@ type JobStatus struct {
 // counters aggregates service-level events for /metrics.
 type counters struct {
 	submitted, shed, quotaRejected, quarantineRejected, drainRejected int64
+	vetRejected                                                       int64
 	done, failed, canceled, checkpointed, retried, deadlineExceeded   int64
 	quarantines                                                       int64
 }
@@ -311,6 +335,26 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	sp, err := spec.Parse(req.Spec)
 	if err != nil {
 		return JobStatus{}, &RequestError{Err: err}
+	}
+	// Vet the plan against this service's cluster shape and quota before
+	// taking the lock or reserving anything: a spec the verifier condemns
+	// (degenerate, dead, or infeasible under this configuration) is rejected
+	// up front with structured diagnostics, costing the service nothing.
+	if !s.cfg.DisableVet {
+		res, verr := plan.Verify(sp, plan.Config{
+			Workers:      s.cfg.Workers,
+			MemPerWorker: s.cfg.MemPerWorker,
+			TenantQuota:  s.cfg.TenantQuota,
+		})
+		if verr != nil {
+			return JobStatus{}, &RequestError{Err: verr}
+		}
+		if len(res.Findings) > 0 {
+			s.mu.Lock()
+			s.ctr.vetRejected++
+			s.mu.Unlock()
+			return JobStatus{}, &VetError{Findings: res.Findings}
+		}
 	}
 	var fplan *faults.Plan
 	if len(req.Faults) > 0 {

@@ -1,6 +1,9 @@
 package spec
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+)
 
 // FuzzParse ensures the parser never panics on arbitrary input and that any
 // document it accepts also compiles to a valid graph.
@@ -25,6 +28,50 @@ func FuzzParse(f *testing.F) {
 		}
 		if err := g.Validate(); err != nil {
 			t.Fatalf("compiled graph invalid: %v", err)
+		}
+	})
+}
+
+// FuzzCanonical drives the canonical-form contract on arbitrary input:
+// Parse → Canonicalize → Parse must be a fixpoint (a second canonicalization
+// is byte-identical) and the semantic hash must survive canonicalization
+// unchanged — otherwise canonical files and hash-keyed memo tables would
+// disagree about spec identity.
+func FuzzCanonical(f *testing.F) {
+	f.Add([]byte(sampleSpec))
+	f.Add([]byte(`{"source":{"rows":5},"pipeline":[{"op":{"name":"x"}}]}`))
+	f.Add([]byte(`{"source":{"file":"/tmp/x","distribution":"uniform","seed":9},"pipeline":[{"op":{"name":"x","a":4,"paramKey":"zz"}}]}`))
+	f.Add([]byte(`{"schema_version":"1.2.3","source":{"rows":7,"partitions":2},"pipeline":[
+	  {"iterate":{"name":"i","rounds":3,"divergeAboveMeanAbs":10,"op":{"fn":"affine","a":0.5,"b":1,"name":"st"}}},
+	  {"explore":{"name":"e",
+	    "branches":[{"label":"a","params":{"l":1,"dead":9}},{"label":"b","hint":4,"params":{"l":2}}],
+	    "body":[{"op":{"name":"f","fn":"filter-absless","paramKey":"l"}}],
+	    "choose":{"evaluator":"ratio","monotone":true,"selector":{"kind":"topk","k":1}}}}]}`))
+	f.Add([]byte(`{"allow":["dupbranch"],"source":{"rows":5},"pipeline":[{"op":{"name":"x"}}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		h := s.Hash()
+		c1, err := s.Canonicalize()
+		if err != nil {
+			// Parse succeeded, so the spec is valid and must canonicalize.
+			t.Fatalf("valid spec failed to canonicalize: %v", err)
+		}
+		s2, err := Parse(c1)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\n%s", err, c1)
+		}
+		c2, err := s2.Canonicalize()
+		if err != nil {
+			t.Fatalf("canonical form does not recanonicalize: %v", err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonicalize is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", c1, c2)
+		}
+		if h2 := s2.Hash(); h2 != h {
+			t.Fatalf("hash moved across canonicalization: %s -> %s\n%s", h, h2, c1)
 		}
 	})
 }

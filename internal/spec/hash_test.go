@@ -1,0 +1,165 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustHash(t *testing.T, doc string) Hash {
+	t.Helper()
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, doc)
+	}
+	return s.Hash()
+}
+
+// baseDoc is the sensitivity-table baseline: a trunk op, an explore with
+// two parameterised branches, and an iterate.
+const baseDoc = `{
+  "name": "base",
+  "source": {"rows": 100, "partitions": 4, "virtualBytes": 1048576, "distribution": "normal", "seed": 7},
+  "pipeline": [
+    {"op": {"name": "std", "fn": "standardize"}},
+    {"explore": {
+      "name": "e",
+      "branches": [
+        {"label": "lo", "params": {"limit": 0.5}},
+        {"label": "hi", "params": {"limit": 1.5}}
+      ],
+      "body": [{"op": {"name": "f", "fn": "filter-absless", "paramKey": "limit"}}],
+      "choose": {"evaluator": "size", "selector": {"kind": "max"}}
+    }},
+    {"iterate": {"name": "it", "rounds": 3, "op": {"name": "sq", "fn": "square"}}}
+  ]
+}`
+
+// TestHashSensitivityTable drives the acceptance table: hash-invariant
+// edits (reordering, whitespace, metadata) against hash-changing edits
+// (every semantic knob).
+func TestHashSensitivityTable(t *testing.T) {
+	base := mustHash(t, baseDoc)
+
+	edit := func(old, new string) string {
+		if !strings.Contains(baseDoc, old) {
+			t.Fatalf("baseline does not contain %q", old)
+		}
+		return strings.Replace(baseDoc, old, new, 1)
+	}
+
+	same := map[string]string{
+		"whitespace collapsed": strings.Join(strings.Fields(baseDoc), " "),
+		"job renamed":          edit(`"name": "base"`, `"name": "renamed"`),
+		"op renamed":           edit(`"name": "std"`, `"name": "zzz"`),
+		"explore renamed":      edit(`"name": "e"`, `"name": "other"`),
+		"branch relabeled":     edit(`"label": "lo"`, `"label": "low"`),
+		"schema version added": strings.Replace(baseDoc, `"name": "base"`, `"schema_version": "1.0.0", "name": "base"`, 1),
+		"allow metadata added": strings.Replace(baseDoc, `"name": "base"`, `"name": "base", "allow": ["dupbranch"]`, 1),
+		"key order swapped": strings.Replace(baseDoc,
+			`"rows": 100, "partitions": 4`, `"partitions": 4, "rows": 100`, 1),
+		"default materialised": edit(`"fn": "filter-absless", "paramKey": "limit"`,
+			`"fn": "filter-absless", "paramKey": "limit", "costPerMB": 0.001`),
+		"dead param added": edit(`"params": {"limit": 0.5}`, `"params": {"limit": 0.5, "unused": 9}`),
+		"paramkey inlined": edit(`"body": [{"op": {"name": "f", "fn": "filter-absless", "paramKey": "limit"}}],
+      "choose": {"evaluator": "size", "selector": {"kind": "max"}}`,
+			`"body": [{"op": {"name": "f", "fn": "filter-absless", "paramKey": "limit"}}],
+      "choose": {"evaluator": "size", "selector": {"kind": "max", "k": 3}}`),
+	}
+	// A "max" selector ignores k, so materialising it must not move the
+	// hash either — covered by "paramkey inlined" above (k is dead for max).
+	for name, doc := range same {
+		if got := mustHash(t, doc); got != base {
+			t.Errorf("%s: hash moved %s -> %s; metadata edits must not change the hash", name, base, got)
+		}
+	}
+
+	changed := map[string]string{
+		"source rows":         edit(`"rows": 100`, `"rows": 200`),
+		"source seed":         edit(`"seed": 7`, `"seed": 8`),
+		"source distribution": edit(`"distribution": "normal"`, `"distribution": "uniform"`),
+		"source bytes":        edit(`"virtualBytes": 1048576`, `"virtualBytes": 2097152`),
+		"trunk operator":      edit(`"fn": "standardize"`, `"fn": "normalize"`),
+		"branch param value":  edit(`"limit": 0.5`, `"limit": 0.6`),
+		"branch order": edit(`{"label": "lo", "params": {"limit": 0.5}},
+        {"label": "hi", "params": {"limit": 1.5}}`, `{"label": "hi", "params": {"limit": 1.5}},
+        {"label": "lo", "params": {"limit": 0.5}}`),
+		"evaluator":      edit(`"evaluator": "size"`, `"evaluator": "ratio"`),
+		"selector kind":  edit(`"kind": "max"`, `"kind": "min"`),
+		"iterate rounds": edit(`"rounds": 3`, `"rounds": 4`),
+		"iterate op":     edit(`"fn": "square"`, `"fn": "abs"`),
+		"op cost":        edit(`"fn": "standardize"`, `"fn": "standardize", "costPerMB": 0.5`),
+		"branch hint":    edit(`"label": "lo"`, `"label": "lo", "hint": 9`),
+	}
+	for name, doc := range changed {
+		if got := mustHash(t, doc); got == base {
+			t.Errorf("%s: hash did not move; semantic edits must change the hash", name)
+		}
+	}
+}
+
+// TestHashParamKeyResolution: a filter written through ParamKey hashes the
+// same as the literal parameter, because the engine computes the same
+// result for both.
+func TestHashParamKeyResolution(t *testing.T) {
+	indirect := `{"source":{"rows":10},"pipeline":[{"explore":{"name":"e",
+	  "branches":[{"label":"a","params":{"l":1}},{"label":"b","params":{"l":2}}],
+	  "body":[{"op":{"name":"f","fn":"filter-less","paramKey":"l"}}],
+	  "choose":{"selector":{"kind":"max"}}}}]}`
+	literalParams := `{"source":{"rows":10},"pipeline":[{"explore":{"name":"e",
+	  "branches":[{"label":"a","params":{"l":1}},{"label":"b","params":{"l":2}}],
+	  "body":[{"op":{"name":"f","fn":"filter-less","paramKey":"l","limit":99}}],
+	  "choose":{"selector":{"kind":"max"}}}}]}`
+	if mustHash(t, indirect) != mustHash(t, literalParams) {
+		t.Error("unused literal default under ParamKey changed the hash")
+	}
+}
+
+// TestHashReportSubgraphs pins the structure of the hash report: chain
+// prefixes for every step, branch hashes seeded by the incoming prefix,
+// and equal bodies under equal params colliding.
+func TestHashReportSubgraphs(t *testing.T) {
+	s, err := Parse([]byte(baseDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.HashReport()
+	if r.Spec == 0 {
+		t.Error("zero spec hash")
+	}
+	// source + 3 trunk steps + 2 branches × 1 body step = 6 chain points.
+	if len(r.Chains) != 6 {
+		t.Fatalf("chain points = %d, want 6: %+v", len(r.Chains), r.Chains)
+	}
+	if r.Chains[0].Path != "source" || r.Chains[1].Path != "pipeline[0]" {
+		t.Errorf("unexpected chain paths: %+v", r.Chains[:2])
+	}
+	if len(r.Branches) != 2 {
+		t.Fatalf("branch hashes = %d, want 2", len(r.Branches))
+	}
+	if r.Branches[0].Hash == r.Branches[1].Hash {
+		t.Error("branches with different params must not collide")
+	}
+
+	// Two branches with identical resolved params collide.
+	dup := strings.Replace(baseDoc, `"params": {"limit": 1.5}`, `"params": {"limit": 0.5}`, 1)
+	sd, err := Parse([]byte(dup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := sd.HashReport()
+	if rd.Branches[0].Hash != rd.Branches[1].Hash {
+		t.Error("branches with identical resolved bodies must collide")
+	}
+}
+
+// TestHashPinned pins one concrete hash value so accidental changes to the
+// hash-inclusion rules are loud. If a deliberate format change moves it,
+// update the constant and call it out in the change description.
+func TestHashPinned(t *testing.T) {
+	doc := `{"source":{"rows":5},"pipeline":[{"op":{"name":"x"}}]}`
+	const want = "6f9e6bbc062ab9c3"
+	got := mustHash(t, doc).String()
+	if got != want {
+		t.Errorf("pinned hash moved: got %s, want %s", got, want)
+	}
+}

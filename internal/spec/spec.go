@@ -8,6 +8,7 @@ package spec
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -22,8 +23,16 @@ import (
 
 // Spec is the root document.
 type Spec struct {
-	// Name labels the job.
-	Name string `json:"name"`
+	// SchemaVersion is the spec schema version ("MAJOR.MINOR.PATCH").
+	// Empty means the current version; a major version other than the
+	// current one is rejected. The canonical form always carries it.
+	SchemaVersion string `json:"schema_version,omitempty"`
+	// Name labels the job. It is metadata: excluded from the content hash.
+	Name string `json:"name,omitempty"`
+	// Allow suppresses plan-verifier rules by name for the whole document
+	// (the JSON analogue of mdflint's //lint:allow escapes; see
+	// internal/plan). Metadata: excluded from the content hash.
+	Allow []string `json:"allow,omitempty"`
 	// Source describes the generated input dataset.
 	Source Source `json:"source"`
 	// Pipeline is the sequence of steps after the source.
@@ -43,9 +52,9 @@ type Source struct {
 	// VirtualBytes is the accounted size (default 1 GiB).
 	VirtualBytes int64 `json:"virtualBytes"`
 	// Distribution is "normal" (default), "uniform" or "bimodal".
-	Distribution string `json:"distribution"`
+	Distribution string `json:"distribution,omitempty"`
 	// Seed drives the generator.
-	Seed int64 `json:"seed"`
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // Step is a plain operator (Op), an exploration scope (Explore), or an
@@ -148,18 +157,22 @@ type Selector struct {
 // Parse decodes a JSON document into a Spec. Decoding is strict: a field
 // the schema does not define is an error, not silently dropped, so a typo
 // like "partitons" fails the submission instead of running the job with a
-// default the author never chose.
+// default the author never chose. Decode errors carry the offending
+// line:column position so a bad spec points at itself, not at a byte
+// offset the author would have to count.
 func Parse(data []byte) (*Spec, error) {
 	var s Spec
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&s); err != nil {
-		return nil, fmt.Errorf("spec: %w", err)
+		line, col := lineCol(data, decodeOffset(err, dec))
+		return nil, fmt.Errorf("spec: line %d, column %d: %w", line, col, err)
 	}
 	// A second document after the first is a malformed spec, not trailing
 	// input to ignore.
 	if dec.More() {
-		return nil, fmt.Errorf("spec: trailing data after document")
+		line, col := lineCol(data, dec.InputOffset())
+		return nil, fmt.Errorf("spec: line %d, column %d: trailing data after document", line, col)
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -167,8 +180,48 @@ func Parse(data []byte) (*Spec, error) {
 	return &s, nil
 }
 
+// decodeOffset extracts the byte offset of a json.Decoder error. The two
+// typed errors carry the exact offset; everything else (e.g. the unknown-
+// field error, which encoding/json reports as a bare string) falls back to
+// the decoder's input offset, which points just past the offending token.
+func decodeOffset(err error, dec *json.Decoder) int64 {
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) {
+		return syn.Offset
+	}
+	var typ *json.UnmarshalTypeError
+	if errors.As(err, &typ) {
+		return typ.Offset
+	}
+	return dec.InputOffset()
+}
+
+// lineCol translates a byte offset into 1-based line and column numbers.
+// Offsets past the end of the document clamp to its last byte.
+func lineCol(data []byte, offset int64) (line, col int) {
+	if offset > int64(len(data)) {
+		offset = int64(len(data))
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	line, col = 1, 1
+	for _, b := range data[:offset] {
+		if b == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
 // Validate reports structural errors.
 func (s *Spec) Validate() error {
+	if err := checkSchemaVersion(s.SchemaVersion); err != nil {
+		return err
+	}
 	if s.Source.Rows < 1 && s.Source.File == "" {
 		return fmt.Errorf("spec: source needs rows >= 1 or a file")
 	}

@@ -3,6 +3,7 @@ package spec
 import (
 	"fmt"
 	"os"
+	"strings"
 	"testing"
 
 	"metadataflow/internal/baseline"
@@ -385,5 +386,47 @@ func TestParseRejectsUnknownFields(t *testing.T) {
 	// The same documents without the typos still parse.
 	if _, err := Parse([]byte(`{"source": {"rows": 10, "partitions": 4}, "pipeline": [{"op": {"name": "x", "costPerMB": 1}}]}`)); err != nil {
 		t.Fatalf("valid document rejected: %v", err)
+	}
+}
+
+// TestParseErrorPositions: decode errors point at the offending line and
+// column instead of a bare byte offset.
+func TestParseErrorPositions(t *testing.T) {
+	cases := map[string]struct {
+		doc  string
+		want string // expected position fragment in the error
+	}{
+		"syntax error": {
+			doc:  "{\"source\": {\"rows\": 5}\n \"pipeline\": [{\"op\": {\"name\": \"x\"}}]}",
+			want: "line 2, column",
+		},
+		"type error": {
+			doc:  "{\"source\": {\"rows\": 5},\n \"pipeline\": [{\"op\": {\"name\": 42}}]}",
+			want: "line 2, column",
+		},
+		// Unknown-field errors carry no byte offset, so the position falls
+		// back to the decoder's progress: the end of the document read so far.
+		"unknown field": {
+			doc:  "{\"source\": {\"rows\": 5,\n  \"partitons\": 4},\n \"pipeline\": [{\"op\": {\"name\": \"x\"}}]}",
+			want: "line 3, column",
+		},
+		"trailing document": {
+			doc:  "{\"source\": {\"rows\": 5}, \"pipeline\": [{\"op\": {\"name\": \"x\"}}]}\n{\"extra\": 1}",
+			want: "line 2, column",
+		},
+		"first line": {
+			doc:  `{"source": nope}`,
+			want: "line 1, column 14", // at the first character that breaks the literal
+		},
+	}
+	for name, tc := range cases {
+		_, err := Parse([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: Parse accepted a malformed document", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not carry position %q", name, err, tc.want)
+		}
 	}
 }
