@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help build test vet lint specvet race race-short experiments-quick fuzz-short chaos-short chaos serve-short bench-baseline ci clean
+.PHONY: all help build test vet lint specvet race race-short experiments-quick fuzz-short chaos-short chaos serve-short bench-baseline bench-trajectory ci clean
 
 all: build
 
@@ -19,8 +19,9 @@ help:
 	@echo "  chaos-short       deterministic 50-trial chaos sweep, run twice and compared"
 	@echo "  chaos             long randomized chaos sweep (CHAOS_SEED, CHAOS_TRIALS)"
 	@echo "  serve-short       service-layer tests (admission, quotas, drain, HTTP)"
-	@echo "  bench-baseline    regenerate BENCH_*.json and fail on drift"
-	@echo "  ci                the merge gate: vet lint specvet build race race-short chaos-short experiments-quick serve-short bench-baseline"
+	@echo "  bench-baseline    regenerate BENCH_*.json and fail on byte drift"
+	@echo "  bench-trajectory  regenerate BENCH_*.json and fail if any series regresses past MDFSTAT_THRESHOLD (mdfstat)"
+	@echo "  ci                the merge gate: vet lint specvet build race race-short chaos-short experiments-quick serve-short bench-trajectory bench-baseline"
 
 build:
 	$(GO) build ./...
@@ -100,20 +101,34 @@ chaos: build
 serve-short:
 	$(GO) test ./internal/service -count=1
 
-# bench-baseline regenerates the committed BENCH_<exp>.json baselines and
-# fails if the bytes drift: a performance- or determinism-affecting change
-# must regenerate the baselines in the same commit. Part of ci.
+# bench-baseline regenerates every committed BENCH_<exp>.json baseline in
+# quick mode and fails if any bytes drift: a performance- or
+# determinism-affecting change must regenerate the baselines in the same
+# commit. Part of ci.
 bench-baseline: build
-	cp BENCH_stragglers.json .bench-stragglers.prev.json
-	cp BENCH_recovery.json .bench-recovery.prev.json
-	$(GO) run ./cmd/mdfbench -exp stragglers -quick -seeds 1 -json
-	$(GO) run ./cmd/mdfbench -exp recovery -quick -seeds 1 -json
-	cmp BENCH_stragglers.json .bench-stragglers.prev.json
-	cmp BENCH_recovery.json .bench-recovery.prev.json
-	@rm -f .bench-stragglers.prev.json .bench-recovery.prev.json
+	rm -rf .bench-prev && mkdir .bench-prev && cp BENCH_*.json .bench-prev/
+	$(GO) run ./cmd/mdfbench -exp all -quick -seeds 1 -json
+	@for f in BENCH_*.json; do cmp $$f .bench-prev/$$f || exit 1; done
+	@rm -rf .bench-prev
+
+# bench-trajectory is the performance-trajectory gate: regenerate every
+# experiment in quick mode and diff each artifact against the committed
+# baseline with mdfstat, failing when any series regresses past the
+# threshold (default 5%). Unlike bench-baseline's byte compare this gate
+# names the series that moved and tolerates improvements, so it stays
+# useful while baselines are being re-rolled: run it before bench-baseline
+# to see *what* regressed, not just *that* bytes changed. Part of ci.
+MDFSTAT_THRESHOLD ?= 5
+bench-trajectory: build
+	rm -rf .bench-traj && mkdir .bench-traj && cp BENCH_*.json .bench-traj/
+	$(GO) run ./cmd/mdfbench -exp all -quick -seeds 1 -json
+	@for f in BENCH_*.json; do \
+		$(GO) run ./cmd/mdfstat -threshold $(MDFSTAT_THRESHOLD) .bench-traj/$$f $$f || exit 1; \
+	done
+	@rm -rf .bench-traj
 
 # ci is the gate a change must pass before merging.
-ci: vet lint specvet build race race-short chaos-short experiments-quick serve-short bench-baseline
+ci: vet lint specvet build race race-short chaos-short experiments-quick serve-short bench-trajectory bench-baseline
 
 clean:
 	$(GO) clean ./...

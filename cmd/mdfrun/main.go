@@ -53,6 +53,7 @@ func main() {
 		trace       = flag.Bool("trace", false, "print the per-stage execution timeline")
 		traceJSON   = flag.String("trace-json", "", "write a multi-track Chrome trace (per-node tracks and counters) to this file")
 		metricsOut  = flag.String("metrics", "", "write the telemetry metrics snapshot as JSON to this file; mdf mode only")
+		seriesOut   = flag.String("series", "", "write the virtual-time series document (mdf.series/v1) as JSON to this file; mdf mode only")
 		explain     = flag.Bool("explain", false, "print the decision audit log (scheduler picks, evictions, choose selections, recovery); mdf mode only")
 		spills      = flag.Bool("spills", false, "print the top spilled datasets")
 		speculative = flag.Bool("speculative", false, "enable speculative straggler mitigation")
@@ -65,7 +66,7 @@ func main() {
 	// process exits with the conventional interrupt status 130.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *job, *specPath, *sched, *policy, *incremental, *workers, *memGB, *mode, *seed, *trace, *traceJSON, *metricsOut, *explain, *spills, *speculative, *faultSpec, *vetPlan); err != nil {
+	if err := run(ctx, *job, *specPath, *sched, *policy, *incremental, *workers, *memGB, *mode, *seed, *trace, *traceJSON, *metricsOut, *seriesOut, *explain, *spills, *speculative, *faultSpec, *vetPlan); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		if errors.Is(err, errUsage) {
 			fmt.Fprintln(os.Stderr, "run 'mdfrun -h' for the accepted flag values")
@@ -141,7 +142,7 @@ func replayRepro(r *chaos.Repro) error {
 	return fmt.Errorf("%w: chaos repro reproduces: oracle %s, %d violation(s)", errOracle, vs[0].Oracle, len(vs))
 }
 
-func run(ctx context.Context, job, specPath, sched, policy string, incremental bool, workers int, memGB int64, mode string, seed int64, trace bool, traceJSON, metricsOut string, explain, spills, speculative bool, faultSpec string, vetPlan bool) error {
+func run(ctx context.Context, job, specPath, sched, policy string, incremental bool, workers int, memGB int64, mode string, seed int64, trace bool, traceJSON, metricsOut, seriesOut string, explain, spills, speculative bool, faultSpec string, vetPlan bool) error {
 	if vetPlan && specPath == "" {
 		return usageErrorf("mdfrun: -vet requires -spec (the built-in -job workloads have no spec document to verify)")
 	}
@@ -224,9 +225,9 @@ func run(ctx context.Context, job, specPath, sched, policy string, incremental b
 	if repro != nil {
 		return replayRepro(repro)
 	}
-	telemetry := traceJSON != "" || metricsOut != "" || explain
+	telemetry := traceJSON != "" || metricsOut != "" || seriesOut != "" || explain
 	if telemetry && mode != "mdf" {
-		return usageErrorf("mdfrun: -trace-json, -metrics, and -explain are only supported in mdf mode")
+		return usageErrorf("mdfrun: -trace-json, -metrics, -series, and -explain are only supported in mdf mode")
 	}
 
 	switch {
@@ -304,6 +305,17 @@ func run(ctx context.Context, job, specPath, sched, policy string, incremental b
 				return err
 			}
 			fmt.Printf("wrote metrics snapshot to %s\n", metricsOut)
+		}
+		if seriesOut != "" {
+			f, err := os.Create(seriesOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := rec.Series(obs.DefaultBucketSec).WriteJSON(f); err != nil {
+				return err
+			}
+			fmt.Printf("wrote time-series document to %s\n", seriesOut)
 		}
 		if explain {
 			fmt.Println("\ndecision audit log:")

@@ -198,6 +198,7 @@ func DefaultConfig() Config {
 			"internal/obs",
 			"internal/spec",
 			"internal/plan",
+			"cmd/mdfstat",
 		}},
 		SeededRand: RuleScope{Dirs: []string{"internal"}, IncludeTests: true},
 		MapOrder:   RuleScope{Dirs: []string{"internal"}},
@@ -212,6 +213,7 @@ func DefaultConfig() Config {
 			"internal/baseline",
 			"internal/obs",
 			"internal/plan",
+			"cmd/mdfstat",
 		}},
 		LeakCheck:        RuleScope{Dirs: []string{"internal"}},
 		LockSafety:       RuleScope{Dirs: []string{"internal", "cmd"}},
@@ -224,6 +226,7 @@ func DefaultConfig() Config {
 			{Acquire: "Put", Release: "Discard"},
 			{Acquire: "Pin", Release: "Unpin"},
 			{Acquire: "SpanBegin", Release: "SpanEnd"},
+			{Acquire: "IntervalBegin", Release: "IntervalEnd"},
 		},
 
 		WallclockFuncs: []string{

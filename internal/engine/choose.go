@@ -104,6 +104,7 @@ func (r *Run) evalBranch(chooseSt *graph.Stage, branch int, ready sim.VTime) err
 	r.metrics.ChooseEvals++
 	cs.offered[branch] = true
 	cs.scores[branch] = score
+	r.observeScore(chooseSt, branch, end, score)
 
 	// Feed stateful scheduling hints (§4.2(iii)) with the observed score.
 	if sa, ok := r.opts.Scheduler.(scheduler.ScoreAware); ok {
@@ -185,6 +186,7 @@ func (r *Run) skipStage(st *graph.Stage, t sim.VTime) {
 	r.metrics.StagesPruned++
 	r.trace(EventPruned, st.String(), t, t)
 	r.span(obs.NodeMaster, obs.KindPruned, st.String(), t, t)
+	r.observeStageDone(st, t, t, false)
 	delete(r.ready, st.ID)
 	for _, pre := range r.plan.Pre(st) {
 		if r.executed[pre.ID] {

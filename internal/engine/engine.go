@@ -249,6 +249,11 @@ type Run struct {
 
 	// probe is the telemetry sink (Options.Probe); nil disables telemetry.
 	probe obs.Probe
+	// lastRank retains the previous pick's candidate ranking for the
+	// sched.rank_churn series; branchIv tracks the open branch-lifetime
+	// intervals. Both are only touched when probe is non-nil.
+	lastRank []*graph.Stage
+	branchIv map[graph.BranchRef]obs.SpanID
 
 	metrics     Metrics
 	timeline    []StageEvent
@@ -312,6 +317,7 @@ func (r *Run) observePick(rec scheduler.PickRecord) {
 		})
 	}
 	r.probe.Decision(d)
+	r.observeRank(rec)
 }
 
 type chooseState struct {
@@ -360,6 +366,7 @@ func NewRun(plan *graph.Plan, opts Options, start sim.VTime) (*Run, error) {
 		producerOf:    make(map[dataset.ID]int),
 		stageDur:      make(map[int]sim.VTime),
 		placement:     make(map[dataset.PartKey]int),
+		branchIv:      make(map[graph.BranchRef]obs.SpanID),
 		retry:         faults.DefaultRetry(),
 		checkpoint:    o.Checkpoint,
 	}

@@ -300,6 +300,7 @@ func (r *Run) markExecuted(st *graph.Stage, ready, end sim.VTime) {
 	if end > r.now {
 		r.now = end
 	}
+	r.observeStageDone(st, ready, end, true)
 }
 
 // consumeForward adjusts consumer accounting when a stage forwards its input

@@ -1,0 +1,149 @@
+package engine_test
+
+import (
+	"bytes"
+	"testing"
+
+	"metadataflow/internal/engine"
+	"metadataflow/internal/graph"
+	"metadataflow/internal/mdf"
+	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/obs"
+	"metadataflow/internal/scheduler"
+)
+
+func TestProgressTracksBranches(t *testing.T) {
+	g := buildFilterMDF(t, mdf.Max(), mdf.SizeEvaluator())
+	plan, err := graph.BuildPlan(g)
+	if err != nil {
+		t.Fatalf("BuildPlan: %v", err)
+	}
+	run, err := engine.NewRun(plan, engine.Options{
+		Cluster:     testCluster(1 << 30),
+		Policy:      memorymgr.AMM,
+		Scheduler:   scheduler.BAS(nil),
+		Incremental: true,
+	}, 0)
+	if err != nil {
+		t.Fatalf("NewRun: %v", err)
+	}
+
+	p := run.Progress()
+	if p.Done || p.StagesExecuted != 0 {
+		t.Fatalf("fresh run progress: %+v", p)
+	}
+	if len(p.Branches) != 3 {
+		t.Fatalf("branches = %d, want 3", len(p.Branches))
+	}
+	for _, bp := range p.Branches {
+		if bp.State != engine.BranchPending || bp.Completion != 0 {
+			t.Fatalf("fresh branch not pending: %+v", bp)
+		}
+	}
+
+	// Step until at least one branch has been scored mid-run.
+	sawPartial := false
+	for run.Step() {
+		mid := run.Progress()
+		if mid.StagesExecuted > 0 && !mid.Done {
+			sawPartial = true
+		}
+	}
+	if !sawPartial {
+		t.Fatal("never observed a mid-run progress state")
+	}
+
+	final := run.Progress()
+	if !final.Done {
+		t.Fatal("final progress not done")
+	}
+	if final.StagesTotal != len(plan.Stages) {
+		t.Fatalf("stagesTotal = %d, want %d", final.StagesTotal, len(plan.Stages))
+	}
+	scored := 0
+	for _, bp := range final.Branches {
+		if bp.Completion != 1 {
+			t.Fatalf("terminal branch not complete: %+v", bp)
+		}
+		switch bp.State {
+		case engine.BranchScored:
+			scored++
+		case engine.BranchPruned:
+		default:
+			t.Fatalf("terminal branch in state %q: %+v", bp.State, bp)
+		}
+	}
+	if scored == 0 {
+		t.Fatal("no branch ended scored")
+	}
+}
+
+// TestSeriesArtifactDeterministic pins the acceptance criterion: two
+// same-seed runs produce byte-identical mdf.series/v1 artifacts, and the
+// artifact carries the branch-level series the progress surface streams.
+func TestSeriesArtifactDeterministic(t *testing.T) {
+	var docs [2]bytes.Buffer
+	for i := range docs {
+		rec, _ := recordedRun(t, engine.Options{
+			Cluster:     testCluster(1 << 30),
+			Policy:      memorymgr.AMM,
+			Scheduler:   scheduler.BAS(nil),
+			Incremental: true,
+		})
+		if err := rec.Series(obs.DefaultBucketSec).WriteJSON(&docs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(docs[0].Bytes(), docs[1].Bytes()) {
+		t.Fatalf("series artifact not byte-identical across same-seed runs:\n%s\nvs\n%s",
+			docs[0].String(), docs[1].String())
+	}
+
+	rec, _ := recordedRun(t, engine.Options{
+		Cluster:     testCluster(1 << 30),
+		Policy:      memorymgr.AMM,
+		Scheduler:   scheduler.BAS(nil),
+		Incremental: true,
+	})
+	doc := rec.Series(obs.DefaultBucketSec)
+	want := map[string]bool{
+		"engine.branch_score.s0.b2":    false, // highest hint wins under Max
+		"engine.branch_progress.s0.b0": false,
+		"engine.branch_active.s0.b0":   false,
+		"sched.rank_churn":             false,
+		"sched.queue_depth":            false,
+		"util.cpu":                     false,
+		"lat.stage":                    false,
+	}
+	for _, s := range doc.Series {
+		if _, ok := want[s.Name]; ok {
+			want[s.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("series %q missing from artifact", name)
+		}
+	}
+
+	// Every opened branch interval must have been closed: a still-open
+	// interval serialises with End == Start, but more importantly the
+	// recorded intervals must cover all three branches.
+	ivs := rec.Intervals()
+	branches := map[string]bool{}
+	for _, iv := range ivs {
+		branches[iv.Name] = true
+		if iv.End < iv.Start {
+			t.Errorf("interval ends before start: %+v", iv)
+		}
+	}
+	for _, name := range []string{
+		"engine.branch_active.s0.b0",
+		"engine.branch_active.s0.b1",
+		"engine.branch_active.s0.b2",
+	} {
+		if !branches[name] {
+			t.Errorf("missing branch interval %q (have %v)", name, branches)
+		}
+	}
+}

@@ -294,6 +294,13 @@ func (r *Run) quarantine(chooseSt *graph.Stage, branch int, reason string) {
 			r.skipStage(st, r.now)
 		}
 	}
+	if pres := r.plan.Pre(chooseSt); branch < len(pres) {
+		// A branch quarantined after all its stages ran never gets a score,
+		// so close its lifetime interval here.
+		if ref := r.plan.Branch(pres[branch]); ref != nil {
+			r.endBranchInterval(*ref, r.now)
+		}
+	}
 	r.discardBranchDataset(chooseSt, cs, branch, false)
 	r.refreshReady()
 }

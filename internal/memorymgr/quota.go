@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"metadataflow/internal/obs"
 	"metadataflow/internal/sim"
 )
 
@@ -41,6 +42,11 @@ type TenantQuotas struct {
 	quota    sim.Bytes
 	reserved map[string]sim.Bytes
 	peak     map[string]sim.Bytes
+
+	// probe receives per-tenant reservation/headroom time series; seq is
+	// the logical clock stamping them (see SetProbe).
+	probe obs.Probe
+	seq   int64
 }
 
 // NewTenantQuotas returns a pool granting every tenant the same quota;
@@ -60,6 +66,30 @@ func NewTenantQuotas(perTenant sim.Bytes) *TenantQuotas {
 // Quota returns the per-tenant quota.
 func (q *TenantQuotas) Quota() sim.Bytes {
 	return q.quota
+}
+
+// SetProbe attaches a telemetry probe: every successful Reserve and every
+// Release emits the tenant's reserved bytes and remaining headroom as
+// gauge series (quota.reserved_bytes.<tenant>, quota.headroom_bytes.<tenant>).
+// The quota pool spans jobs, so it has no single virtual clock; events are
+// stamped with a logical reservation-sequence time instead (one virtual
+// second per accounting event), which is deterministic for a fixed
+// submission sequence. nil detaches the probe.
+func (q *TenantQuotas) SetProbe(p obs.Probe) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.probe = p
+}
+
+// emitLocked samples the tenant's quota series. Callers hold q.mu.
+func (q *TenantQuotas) emitLocked(tenant string) {
+	if q.probe == nil {
+		return
+	}
+	q.seq++
+	t := sim.VTime(q.seq)
+	q.probe.SeriesSet(obs.NodeMaster, "quota.reserved_bytes."+tenant, t, float64(q.reserved[tenant]))
+	q.probe.SeriesSet(obs.NodeMaster, "quota.headroom_bytes."+tenant, t, float64(q.quota-q.reserved[tenant]))
 }
 
 // probeLocked reports whether a reservation of bytes would currently fit
@@ -107,6 +137,7 @@ func (q *TenantQuotas) Reserve(tenant string, bytes sim.Bytes) error {
 	if q.reserved[tenant] > q.peak[tenant] {
 		q.peak[tenant] = q.reserved[tenant]
 	}
+	q.emitLocked(tenant)
 	return nil
 }
 
@@ -123,6 +154,7 @@ func (q *TenantQuotas) Release(tenant string, bytes sim.Bytes) {
 	if q.reserved[tenant] == 0 {
 		delete(q.reserved, tenant)
 	}
+	q.emitLocked(tenant)
 }
 
 // Reserved returns the tenant's current reservation.

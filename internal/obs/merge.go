@@ -13,7 +13,9 @@ import "sort"
 //     meaningless);
 //   - histograms with identical bucket bounds merge bucket-wise; a histogram
 //     whose bounds differ from the first occurrence of its name is dropped
-//     rather than mis-merged;
+//     rather than mis-merged, and every drop is counted in the
+//     obs.merge_dropped_histograms counter (always present, zero in the
+//     common all-compatible case) so the loss is visible in the document;
 //   - completion_sec takes the maximum (the service-level makespan of the
 //     merged jobs);
 //   - per-node allocator states are omitted: jobs run on isolated per-job
@@ -26,6 +28,7 @@ func MergeSnapshots(snaps []*Snapshot) *Snapshot {
 	gauges := make(map[string]float64)
 	hists := make(map[string]*Histogram)
 	var histOrder []string
+	var droppedHists int64
 	for _, s := range snaps {
 		if s == nil {
 			continue
@@ -50,6 +53,7 @@ func MergeSnapshots(snaps []*Snapshot) *Snapshot {
 				continue
 			}
 			if !sameBounds(have.Buckets, h.Buckets) {
+				droppedHists++
 				continue
 			}
 			have.Count += h.Count
@@ -61,6 +65,9 @@ func MergeSnapshots(snaps []*Snapshot) *Snapshot {
 		}
 		out.Faults = append(out.Faults, s.Faults...)
 	}
+	// Surface the drop count even when zero, so consumers can rely on the
+	// counter existing and alert on it going nonzero.
+	counters["obs.merge_dropped_histograms"] += droppedHists
 	if hits, ok := counters["mem.hits"]; ok {
 		if misses, ok := counters["mem.misses"]; ok {
 			ratio := 1.0

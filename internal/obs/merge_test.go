@@ -105,6 +105,20 @@ func TestMergeSnapshotsSkipsMismatchedBounds(t *testing.T) {
 	if m.Histograms[0].Count != 1 {
 		t.Fatalf("mismatched-bounds histogram merged: count = %d, want 1", m.Histograms[0].Count)
 	}
+	// The drop must be surfaced, not silent.
+	if got, ok := m.CounterValue("obs.merge_dropped_histograms"); !ok || got != 1 {
+		t.Fatalf("obs.merge_dropped_histograms = %d, %v; want 1", got, ok)
+	}
+}
+
+// TestMergeSnapshotsDropCounterAlwaysPresent pins that the drop counter
+// exists (at zero) even when every histogram merges cleanly, so dashboards
+// can rely on the series.
+func TestMergeSnapshotsDropCounterAlwaysPresent(t *testing.T) {
+	m := MergeSnapshots(mergeFixtures())
+	if got, ok := m.CounterValue("obs.merge_dropped_histograms"); !ok || got != 0 {
+		t.Fatalf("obs.merge_dropped_histograms = %d, %v; want present at 0", got, ok)
+	}
 }
 
 func TestMergeSnapshotsEmpty(t *testing.T) {

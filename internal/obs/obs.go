@@ -86,6 +86,23 @@ type Probe interface {
 	// Label renders a run-stable display label for partition part of the
 	// registered dataset id.
 	Label(id int64, part int) string
+
+	// SeriesAdd adds a delta to a bucketed counter series (see series.go):
+	// the per-bucket value is the sum of the deltas reported in the bucket.
+	SeriesAdd(node int, name string, t sim.VTime, delta float64)
+	// SeriesSet samples a gauge series: the per-bucket value is the last
+	// value set in the bucket (call order, which the engine fixes).
+	SeriesSet(node int, name string, t sim.VTime, value float64)
+	// SeriesObserve adds one observation to a per-bucket log-bucketed
+	// (HDR-style) histogram series.
+	SeriesObserve(node int, name string, t sim.VTime, value float64)
+	// IntervalBegin opens a named interval (a branch lifetime, a recovery
+	// window) and returns its ID. Every IntervalBegin must be paired with an
+	// IntervalEnd (the mdflint leakcheck rule enforces the balance per
+	// package, like SpanBegin/SpanEnd).
+	IntervalBegin(node int, name string, start sim.VTime) SpanID
+	// IntervalEnd closes an interval begun earlier.
+	IntervalEnd(id SpanID, end sim.VTime)
 }
 
 // Nop is a Probe that discards everything. It exists for call sites that
@@ -110,6 +127,21 @@ func (Nop) RegisterDataset(int64, string) {}
 
 // Label implements Probe.
 func (Nop) Label(int64, int) string { return "" }
+
+// SeriesAdd implements Probe.
+func (Nop) SeriesAdd(int, string, sim.VTime, float64) {}
+
+// SeriesSet implements Probe.
+func (Nop) SeriesSet(int, string, sim.VTime, float64) {}
+
+// SeriesObserve implements Probe.
+func (Nop) SeriesObserve(int, string, sim.VTime, float64) {}
+
+// IntervalBegin implements Probe.
+func (Nop) IntervalBegin(int, string, sim.VTime) SpanID { return 0 }
+
+// IntervalEnd implements Probe.
+func (Nop) IntervalEnd(SpanID, sim.VTime) {}
 
 var _ Probe = Nop{}
 
@@ -180,6 +212,8 @@ type Recorder struct {
 	spans     []Span
 	counters  []CounterSample
 	decisions []Decision
+	series    []seriesSample
+	intervals []Interval
 
 	aliasOf map[int64]string
 	aliases int
@@ -250,6 +284,54 @@ func (r *Recorder) Label(id int64, part int) string {
 		alias = "unregistered"
 	}
 	return fmt.Sprintf("%s/p%d", alias, part)
+}
+
+// SeriesAdd implements Probe.
+func (r *Recorder) SeriesAdd(node int, name string, t sim.VTime, delta float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.series = append(r.series, seriesSample{node: node, name: name, op: opAdd, t: t, v: delta})
+}
+
+// SeriesSet implements Probe.
+func (r *Recorder) SeriesSet(node int, name string, t sim.VTime, value float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.series = append(r.series, seriesSample{node: node, name: name, op: opSet, t: t, v: value})
+}
+
+// SeriesObserve implements Probe.
+func (r *Recorder) SeriesObserve(node int, name string, t sim.VTime, value float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.series = append(r.series, seriesSample{node: node, name: name, op: opObserve, t: t, v: value})
+}
+
+// IntervalBegin implements Probe.
+func (r *Recorder) IntervalBegin(node int, name string, start sim.VTime) SpanID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.intervals = append(r.intervals, Interval{Node: node, Name: name, Start: start, End: start})
+	return SpanID(len(r.intervals) - 1)
+}
+
+// IntervalEnd implements Probe.
+func (r *Recorder) IntervalEnd(id SpanID, end sim.VTime) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(r.intervals) {
+		return
+	}
+	if end > r.intervals[id].End {
+		r.intervals[id].End = end
+	}
+}
+
+// Intervals returns a copy of the recorded intervals in begin order.
+func (r *Recorder) Intervals() []Interval {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Interval(nil), r.intervals...)
 }
 
 // ResourceBusy implements the cluster's resource Observer: each occupation

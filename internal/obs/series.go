@@ -1,0 +1,378 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+
+	"metadataflow/internal/sim"
+)
+
+// This file defines the deterministic time-series layer: virtual-time-
+// bucketed counters, gauges and log-bucketed (HDR-style) histograms,
+// reported through the Probe series methods (SeriesAdd, SeriesSet,
+// SeriesObserve, IntervalBegin/IntervalEnd) and materialised by
+// Recorder.Series into a schema-stable mdf.series/v1 document.
+//
+// Determinism contract: bucket indices are floor(t / bucket_sec) over
+// sim.VTime (never wall clock); log-histogram bucketing uses math.Frexp,
+// which is exact binary decomposition, not a transcendental approximation;
+// every collection in the document is sorted (series by name then node,
+// points by bucket index), so serialising the series of the same seed twice
+// is byte-identical. Beyond the explicit series samples, Series derives
+//
+//   - a gauge series from every Counter track (last sample per bucket),
+//   - a per-bucket duration histogram from every task span kind
+//     ("lat.<kind>", e.g. lat.stage, lat.eval), and
+//   - a utilization gauge from every resource span kind ("util.<kind>",
+//     e.g. util.cpu/util.disk/util.net: busy fraction of each bucket),
+//
+// so the memory manager's counter tracks and the cluster's resource
+// timelines become time series without those layers changing.
+
+// SeriesSchema is the time-series document schema identifier.
+const SeriesSchema = "mdf.series/v1"
+
+// DefaultBucketSec is the default virtual-time bucket width in seconds.
+const DefaultBucketSec = 10.0
+
+// Series kinds.
+const (
+	// SeriesCounter sums SeriesAdd deltas per bucket.
+	SeriesCounter = "counter"
+	// SeriesGauge keeps the last SeriesSet value per bucket.
+	SeriesGauge = "gauge"
+	// SeriesHistogram log-buckets SeriesObserve values per bucket.
+	SeriesHistogram = "histogram"
+)
+
+// LogBucket is one power-of-two bucket of a per-bucket histogram: the count
+// of observations v with 2^(Exp-1) < v <= 2^Exp. Exp 0 with the special
+// floor marker collects non-positive observations.
+type LogBucket struct {
+	Exp   int   `json:"exp"`
+	Count int64 `json:"count"`
+}
+
+// logExpFloor marks the log bucket collecting observations <= 0, which have
+// no power-of-two bound.
+const logExpFloor = math.MinInt32
+
+// logExp returns the histogram bucket exponent of v: the smallest e with
+// v <= 2^e, computed exactly via binary decomposition (no transcendental
+// functions, so bucketing is bit-reproducible).
+func logExp(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return logExpFloor
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	if frac == 0.5 {
+		// v is an exact power of two: 2^(exp-1), upper bound of bucket exp-1.
+		return exp - 1
+	}
+	return exp
+}
+
+// SeriesPoint is one bucketed value of a counter or gauge series.
+type SeriesPoint struct {
+	// Bucket is the bucket index; the bucket covers virtual time
+	// [Bucket*bucket_sec, (Bucket+1)*bucket_sec).
+	Bucket int `json:"bucket"`
+	// Value is the bucket's value: the summed deltas of a counter series,
+	// the last set value of a gauge series.
+	Value float64 `json:"value"`
+}
+
+// HistPoint is one bucketed histogram of a histogram series.
+type HistPoint struct {
+	Bucket int     `json:"bucket"`
+	Count  int64   `json:"count"`
+	Sum    float64 `json:"sum"`
+	// Log are the power-of-two buckets with nonzero counts, ascending by
+	// exponent; an entry with "exp" logExpFloor collects values <= 0.
+	Log []LogBucket `json:"log,omitempty"`
+}
+
+// Series is one named time series of the document.
+type Series struct {
+	// Name identifies the series ("sched.queue_depth",
+	// "engine.branch_score.T9[choose].b2", "util.cpu", ...).
+	Name string `json:"name"`
+	// Node is the worker index the series belongs to, or NodeMaster.
+	Node int `json:"node"`
+	// Kind is SeriesCounter, SeriesGauge or SeriesHistogram.
+	Kind string `json:"kind"`
+	// Points holds counter/gauge buckets in ascending bucket order.
+	Points []SeriesPoint `json:"points,omitempty"`
+	// Hist holds histogram buckets in ascending bucket order.
+	Hist []HistPoint `json:"hist,omitempty"`
+}
+
+// SeriesDoc is the mdf.series/v1 document: every time series of one run.
+type SeriesDoc struct {
+	Schema string `json:"schema"`
+	// BucketSec is the virtual-time bucket width.
+	BucketSec sim.VTime `json:"bucket_sec"`
+	// Buckets is the number of buckets covering the run (max index + 1).
+	Buckets int `json:"buckets"`
+	// Series are sorted by name, then node.
+	Series []Series `json:"series"`
+}
+
+// WriteJSON serialises the document as indented JSON. The builder sorts
+// every collection, so the bytes depend only on the recorded telemetry.
+func (d *SeriesDoc) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// seriesOp distinguishes the three explicit series sample kinds.
+type seriesOp uint8
+
+const (
+	opAdd seriesOp = iota
+	opSet
+	opObserve
+)
+
+// seriesSample is one explicit series report retained by the Recorder.
+type seriesSample struct {
+	node int
+	name string
+	op   seriesOp
+	t    sim.VTime
+	v    float64
+}
+
+// Interval is one closed named interval reported through
+// IntervalBegin/IntervalEnd (a branch lifetime, a drain window).
+type Interval struct {
+	// Node is the worker index, or NodeMaster.
+	Node int
+	// Name labels the interval series.
+	Name string
+	// Start and End bound the interval in virtual time.
+	Start, End sim.VTime
+}
+
+// seriesKey identifies one series while building the document.
+type seriesKey struct {
+	name string
+	node int
+	kind string
+}
+
+// seriesBuilder accumulates bucketed values for one document.
+type seriesBuilder struct {
+	bucketSec float64
+	points    map[seriesKey]map[int]float64 // counter/gauge buckets
+	hists     map[seriesKey]map[int]*histAccum
+	maxBucket int
+}
+
+type histAccum struct {
+	count int64
+	sum   float64
+	log   map[int]int64
+}
+
+func newSeriesBuilder(bucketSec float64) *seriesBuilder {
+	if bucketSec <= 0 {
+		bucketSec = DefaultBucketSec
+	}
+	return &seriesBuilder{
+		bucketSec: bucketSec,
+		points:    make(map[seriesKey]map[int]float64),
+		hists:     make(map[seriesKey]map[int]*histAccum),
+	}
+}
+
+// bucketOf maps a virtual time onto its bucket index.
+func (b *seriesBuilder) bucketOf(t sim.VTime) int {
+	if t <= 0 {
+		return 0
+	}
+	return int(t.Seconds() / b.bucketSec)
+}
+
+func (b *seriesBuilder) note(bucket int) {
+	if bucket > b.maxBucket {
+		b.maxBucket = bucket
+	}
+}
+
+func (b *seriesBuilder) add(node int, name string, t sim.VTime, delta float64) {
+	key := seriesKey{name: name, node: node, kind: SeriesCounter}
+	bucket := b.bucketOf(t)
+	m := b.points[key]
+	if m == nil {
+		m = make(map[int]float64)
+		b.points[key] = m
+	}
+	m[bucket] += delta
+	b.note(bucket)
+}
+
+func (b *seriesBuilder) set(node int, name string, t sim.VTime, value float64) {
+	key := seriesKey{name: name, node: node, kind: SeriesGauge}
+	bucket := b.bucketOf(t)
+	m := b.points[key]
+	if m == nil {
+		m = make(map[int]float64)
+		b.points[key] = m
+	}
+	// Samples arrive in call order, which the deterministic engine fixes;
+	// the last write of a bucket wins.
+	m[bucket] = value
+	b.note(bucket)
+}
+
+func (b *seriesBuilder) observe(node int, name string, t sim.VTime, value float64) {
+	key := seriesKey{name: name, node: node, kind: SeriesHistogram}
+	bucket := b.bucketOf(t)
+	m := b.hists[key]
+	if m == nil {
+		m = make(map[int]*histAccum)
+		b.hists[key] = m
+	}
+	h := m[bucket]
+	if h == nil {
+		h = &histAccum{log: make(map[int]int64)}
+		m[bucket] = h
+	}
+	h.count++
+	h.sum += value
+	h.log[logExp(value)]++
+	b.note(bucket)
+}
+
+// utilization spreads a busy interval over the buckets it overlaps, adding
+// the busy fraction of each bucket to a gauge series.
+func (b *seriesBuilder) utilization(node int, name string, start, end sim.VTime) {
+	if end < start {
+		return
+	}
+	key := seriesKey{name: name, node: node, kind: SeriesGauge}
+	m := b.points[key]
+	if m == nil {
+		m = make(map[int]float64)
+		b.points[key] = m
+	}
+	first, last := b.bucketOf(start), b.bucketOf(end)
+	for bi := first; bi <= last; bi++ {
+		lo := float64(bi) * b.bucketSec
+		hi := lo + b.bucketSec
+		s, e := start.Seconds(), end.Seconds()
+		if s < lo {
+			s = lo
+		}
+		if e > hi {
+			e = hi
+		}
+		if e > s {
+			m[bi] += (e - s) / b.bucketSec
+		}
+	}
+	b.note(last)
+}
+
+// doc renders the accumulated buckets into the sorted document.
+func (b *seriesBuilder) doc() *SeriesDoc {
+	doc := &SeriesDoc{
+		Schema:    SeriesSchema,
+		BucketSec: sim.VTime(b.bucketSec),
+		Buckets:   b.maxBucket + 1,
+		Series:    []Series{},
+	}
+	keys := make([]seriesKey, 0, len(b.points)+len(b.hists))
+	for k := range b.points {
+		keys = append(keys, k)
+	}
+	for k := range b.hists {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].kind < keys[j].kind
+	})
+	for _, k := range keys {
+		s := Series{Name: k.name, Node: k.node, Kind: k.kind}
+		if k.kind == SeriesHistogram {
+			buckets := make([]int, 0, len(b.hists[k]))
+			for bi := range b.hists[k] {
+				buckets = append(buckets, bi)
+			}
+			sort.Ints(buckets)
+			for _, bi := range buckets {
+				h := b.hists[k][bi]
+				hp := HistPoint{Bucket: bi, Count: h.count, Sum: h.sum}
+				exps := make([]int, 0, len(h.log))
+				for e := range h.log {
+					exps = append(exps, e)
+				}
+				sort.Ints(exps)
+				for _, e := range exps {
+					hp.Log = append(hp.Log, LogBucket{Exp: e, Count: h.log[e]})
+				}
+				s.Hist = append(s.Hist, hp)
+			}
+		} else {
+			buckets := make([]int, 0, len(b.points[k]))
+			for bi := range b.points[k] {
+				buckets = append(buckets, bi)
+			}
+			sort.Ints(buckets)
+			for _, bi := range buckets {
+				s.Points = append(s.Points, SeriesPoint{Bucket: bi, Value: b.points[k][bi]})
+			}
+		}
+		doc.Series = append(doc.Series, s)
+	}
+	return doc
+}
+
+// Series materialises the recorded telemetry into the mdf.series/v1
+// document with the given virtual-time bucket width (<= 0 uses
+// DefaultBucketSec). Besides the explicit series samples it derives
+// a gauge series from every Counter track, a "lat.<kind>" duration
+// histogram from every task span kind, a "util.<kind>" busy-fraction gauge
+// from every resource span kind (cpu, disk, net), and for every interval
+// series a per-bucket start counter plus a "<name>.duration" histogram.
+func (r *Recorder) Series(bucketSec sim.VTime) *SeriesDoc {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := newSeriesBuilder(float64(bucketSec))
+	for _, s := range r.series {
+		switch s.op {
+		case opAdd:
+			b.add(s.node, s.name, s.t, s.v)
+		case opSet:
+			b.set(s.node, s.name, s.t, s.v)
+		case opObserve:
+			b.observe(s.node, s.name, s.t, s.v)
+		}
+	}
+	for _, c := range r.counters {
+		b.set(c.Node, c.Name, c.T, c.Value)
+	}
+	for _, sp := range r.spans {
+		switch sp.Kind {
+		case KindCPU, KindDisk, KindNet:
+			b.utilization(sp.Node, "util."+string(sp.Kind), sp.Start, sp.End)
+		default:
+			b.observe(sp.Node, "lat."+string(sp.Kind), sp.End, (sp.End - sp.Start).Seconds())
+		}
+	}
+	for _, iv := range r.intervals {
+		b.add(iv.Node, iv.Name, iv.Start, 1)
+		b.observe(iv.Node, iv.Name+".duration", iv.End, (iv.End - iv.Start).Seconds())
+	}
+	return b.doc()
+}

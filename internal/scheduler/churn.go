@@ -1,0 +1,29 @@
+package scheduler
+
+import "metadataflow/internal/graph"
+
+// RankChurn quantifies how much a policy changed its mind between two
+// consecutive candidate rankings (PickRecord.Candidates, best first): the
+// number of stages of cur whose position differs from their position in
+// prev, counting stages absent from prev as moved. A stable ranking churns
+// 0; a freshly inverted one churns len(cur). The engine feeds consecutive
+// pick records through this and emits the result as the sched.rank_churn
+// time series, making BAS hint-regression volatility observable over
+// virtual time.
+func RankChurn(prev, cur []*graph.Stage) int {
+	if len(prev) == 0 {
+		// The first ranking has nothing to churn against.
+		return 0
+	}
+	pos := make(map[int]int, len(prev))
+	for i, st := range prev {
+		pos[st.ID] = i
+	}
+	churn := 0
+	for i, st := range cur {
+		if j, ok := pos[st.ID]; !ok || j != i {
+			churn++
+		}
+	}
+	return churn
+}

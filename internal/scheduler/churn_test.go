@@ -1,0 +1,35 @@
+package scheduler
+
+import (
+	"testing"
+
+	"metadataflow/internal/graph"
+)
+
+func churnStages(ids ...int) []*graph.Stage {
+	out := make([]*graph.Stage, len(ids))
+	for i, id := range ids {
+		out[i] = &graph.Stage{ID: id}
+	}
+	return out
+}
+
+func TestRankChurn(t *testing.T) {
+	cases := []struct {
+		name      string
+		prev, cur []*graph.Stage
+		want      int
+	}{
+		{"first ranking", nil, churnStages(1, 2, 3), 0},
+		{"stable", churnStages(1, 2, 3), churnStages(1, 2, 3), 0},
+		{"swap", churnStages(1, 2, 3), churnStages(2, 1, 3), 2},
+		{"inverted", churnStages(1, 2, 3), churnStages(3, 2, 1), 2},
+		{"new entrant", churnStages(1, 2), churnStages(1, 4), 1},
+		{"shrunk stable prefix", churnStages(1, 2, 3), churnStages(1, 2), 0},
+	}
+	for _, c := range cases {
+		if got := RankChurn(c.prev, c.cur); got != c.want {
+			t.Errorf("%s: RankChurn = %d, want %d", c.name, got, c.want)
+		}
+	}
+}

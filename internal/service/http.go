@@ -12,11 +12,14 @@ import (
 
 // This file maps the server's typed errors onto the HTTP surface:
 //
-//	POST   /jobs      submit a job            201, 400, 403, 413, 429, 503
-//	GET    /jobs/{id} status + audit/explain  200, 404
-//	DELETE /jobs/{id} cancel                  200, 404, 409
-//	GET    /metrics   aggregated snapshot     200
-//	GET    /healthz   liveness + load         200
+//	POST   /jobs               submit a job             201, 400, 403, 413, 429, 503
+//	GET    /jobs/{id}          status + audit/explain   200, 404
+//	GET    /jobs/{id}/progress per-branch live progress 200, 404
+//	DELETE /jobs/{id}          cancel                   200, 404, 409
+//	GET    /metrics            aggregated snapshot      200
+//	GET    /watch              NDJSON telemetry stream  200
+//	GET    /series             service mdf.series/v1    200
+//	GET    /healthz            liveness + load          200
 //
 // Overload semantics: a full queue or an exhausted tenant quota answers
 // 429 with a Retry-After hint (load shedding — the job is never admitted,
@@ -49,8 +52,11 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/progress", s.handleProgress)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /watch", s.handleWatch)
+	mux.HandleFunc("GET /series", s.handleSeries)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"sort"
 
 	"metadataflow/internal/obs"
 )
@@ -47,6 +48,28 @@ func (s *Server) metricsLocked() *obs.Snapshot {
 	for _, tenant := range s.quotas.Tenants() {
 		m.AddGauge("service.tenant_peak_reserved_bytes."+tenant, float64(s.quotas.Peak(tenant)))
 		m.AddGauge("service.tenant_reserved_bytes."+tenant, float64(s.quotas.Reserved(tenant)))
+	}
+
+	// Per-tenant lifecycle breakdown: every tenant that ever touched the
+	// admission path gets the full counter set (zeros included), emitted in
+	// sorted tenant order so the document bytes stay canonical.
+	tenants := make([]string, 0, len(s.tctr))
+	for t := range s.tctr {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		tc := s.tctr[t]
+		p := "service.tenant." + t + "."
+		m.AddCounter(p+"jobs_submitted", tc.submitted)
+		m.AddCounter(p+"jobs_done", tc.done)
+		m.AddCounter(p+"jobs_failed", tc.failed)
+		m.AddCounter(p+"jobs_canceled", tc.canceled)
+		m.AddCounter(p+"jobs_checkpointed", tc.checkpointed)
+		m.AddCounter(p+"jobs_retried", tc.retried)
+		m.AddCounter(p+"jobs_shed", tc.shed)
+		m.AddCounter(p+"jobs_quota_rejected", tc.quotaRejected)
+		m.AddCounter(p+"jobs_quarantine_rejected", tc.quarantineRejected)
 	}
 
 	m.Normalize()

@@ -1,0 +1,254 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+
+	"metadataflow/internal/engine"
+	"metadataflow/internal/obs"
+	"metadataflow/internal/sim"
+)
+
+// This file is the service's live-telemetry surface:
+//
+//	GET /jobs/{id}/progress  per-branch completion and live scores
+//	GET /watch               NDJSON stream of lifecycle + bucket events
+//	GET /series              service-level mdf.series/v1 document
+//
+// Everything here is deterministic for a fixed submission sequence. The
+// step loop is the only writer of job progress and of run-derived watch
+// events; submission-side events (queued, shed, quota/quarantine
+// rejections) are appended by the submitting goroutine under s.mu in
+// submission order. Service-level series (admission queue depth,
+// per-tenant shed/retry/quarantine rates, quota reservations) span jobs
+// and therefore have no single virtual clock; they are stamped with a
+// logical event-sequence time — one virtual second per service event —
+// exactly like the quota pool's reservation clock it shares a recorder
+// with.
+
+// WatchSchema identifies the /watch NDJSON stream format: one JSON header
+// line carrying the schema and bucket width, then one JSON object per
+// event in seq order.
+const WatchSchema = "mdf.watch/v1"
+
+// watchHeader is the first NDJSON line of a /watch stream.
+type watchHeader struct {
+	Schema    string  `json:"schema"`
+	BucketSec float64 `json:"bucketSec"`
+}
+
+// WatchEvent is one /watch stream event. Lifecycle events record a job
+// state transition at its virtual time; bucket events replay the
+// master-node gauge series of a retired job (branch completion fractions,
+// branch scores, scheduler queue depth) one virtual-time bucket at a
+// time. Events carry a dense seq so clients can resume and tests can
+// byte-compare double runs.
+type WatchEvent struct {
+	Seq    int    `json:"seq"`
+	Kind   string `json:"kind"` // "lifecycle" or "bucket"
+	Job    string `json:"job"`
+	Tenant string `json:"tenant"`
+	// State is the job state entered (lifecycle events only).
+	State string `json:"state,omitempty"`
+	// TSec is the job's virtual time at a lifecycle transition.
+	TSec float64 `json:"tSec"`
+	// Bucket indexes the virtual-time bucket of a bucket event; Values
+	// maps master-node gauge series to their value in that bucket
+	// (encoding/json emits map keys sorted, keeping the bytes canonical).
+	Bucket int                `json:"bucket,omitempty"`
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// ProgressStatus is the GET /jobs/{id}/progress document: the engine's
+// per-branch progress view wrapped with job identity. Queued jobs carry an
+// empty Progress; terminal jobs keep their final one.
+type ProgressStatus struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	State  string `json:"state"`
+	engine.Progress
+}
+
+// Progress returns the live exploration progress of one job. The stored
+// progress is refreshed by the step loop after every engine step, so
+// handlers never touch the run itself.
+func (s *Server) Progress(id string) (ProgressStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return ProgressStatus{}, ErrNotFound
+	}
+	return ProgressStatus{ID: j.id, Tenant: j.tenant, State: j.state, Progress: j.progress}, nil
+}
+
+// Series returns the service-level mdf.series/v1 document: per-tenant
+// quota reservation/headroom gauges and admission-event series on the
+// shared logical clock.
+func (s *Server) Series() *obs.SeriesDoc {
+	return s.rec.Series(sim.VTime(s.cfg.WatchBucketSec))
+}
+
+// tenantCounters is the per-tenant slice of the service lifecycle
+// counters surfaced on /metrics.
+type tenantCounters struct {
+	submitted, done, failed, canceled, checkpointed, retried int64
+	shed, quotaRejected, quarantineRejected                  int64
+}
+
+// tenantLocked lazily creates the tenant's counter record.
+func (s *Server) tenantLocked(tenant string) *tenantCounters {
+	tc, ok := s.tctr[tenant]
+	if !ok {
+		tc = &tenantCounters{}
+		s.tctr[tenant] = tc
+	}
+	return tc
+}
+
+// tenantRetireLocked counts a job's terminal transition against its
+// tenant's lifecycle counters and the service series. Called from both
+// retire paths after j.state is final.
+func (s *Server) tenantRetireLocked(j *job) {
+	tc := s.tenantLocked(j.tenant)
+	switch j.state {
+	case StateDone:
+		tc.done++
+		s.eventLocked("done", j.tenant)
+	case StateFailed:
+		tc.failed++
+		s.eventLocked("failed", j.tenant)
+	case StateCanceled:
+		tc.canceled++
+		s.eventLocked("canceled", j.tenant)
+	case StateCheckpointed:
+		tc.checkpointed++
+		s.eventLocked("checkpointed", j.tenant)
+	}
+}
+
+// eventLocked records one service-level admission/lifecycle event on the
+// shared logical clock: a per-tenant rate counter tick plus a queue-depth
+// gauge sample. Callers hold s.mu.
+func (s *Server) eventLocked(name, tenant string) {
+	s.eventSeq++
+	t := sim.VTime(s.eventSeq)
+	s.rec.SeriesAdd(obs.NodeMaster, "service."+name+"."+tenant, t, 1)
+	s.rec.SeriesSet(obs.NodeMaster, "service.queue_depth", t, float64(s.queue.Len()))
+}
+
+// watchLifecycleLocked appends a lifecycle event for the job's current
+// state and wakes follow-mode watchers. tSec is the job's virtual time at
+// the transition (0 before the job ever ran).
+func (s *Server) watchLifecycleLocked(j *job, tSec float64) {
+	s.watchSeq++
+	s.watch = append(s.watch, WatchEvent{
+		Seq: s.watchSeq, Kind: "lifecycle",
+		Job: j.id, Tenant: j.tenant, State: j.state, TSec: tSec,
+	})
+	s.cond.Broadcast()
+}
+
+// watchBucketsLocked replays a retired job's master-node gauge series into
+// bucket events, one event per populated bucket, in ascending bucket
+// order. The job's series document is already fully sorted, so the event
+// bytes are canonical.
+func (s *Server) watchBucketsLocked(j *job) {
+	if j.series == nil {
+		return
+	}
+	byBucket := make(map[int]map[string]float64)
+	var buckets []int
+	for _, sr := range j.series.Series {
+		if sr.Node != obs.NodeMaster || sr.Kind != obs.SeriesGauge {
+			continue
+		}
+		for _, pt := range sr.Points {
+			m := byBucket[pt.Bucket]
+			if m == nil {
+				m = make(map[string]float64)
+				byBucket[pt.Bucket] = m
+				buckets = append(buckets, pt.Bucket)
+			}
+			m[sr.Name] = pt.Value
+		}
+	}
+	sort.Ints(buckets)
+	for _, b := range buckets {
+		s.watchSeq++
+		s.watch = append(s.watch, WatchEvent{
+			Seq: s.watchSeq, Kind: "bucket",
+			Job: j.id, Tenant: j.tenant, Bucket: b, Values: byBucket[b],
+		})
+	}
+	s.cond.Broadcast()
+}
+
+// WatchEvents returns a copy of the watch log from seq (exclusive).
+func (s *Server) WatchEvents(afterSeq int) []WatchEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, ev := range s.watch {
+		if ev.Seq > afterSeq {
+			return append([]WatchEvent(nil), s.watch[i:]...)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Progress(strings.TrimSpace(r.PathValue("id")))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if err := s.Series().WriteJSON(w); err != nil {
+		return
+	}
+}
+
+// handleWatch streams the watch log as NDJSON: a header line, then every
+// event in seq order. Plain GET replays the current log and closes;
+// ?follow=1 keeps the stream open, flushing new events as the step loop
+// appends them, until the service goes idle (no queued or active jobs).
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	follow := r.URL.Query().Get("follow") != ""
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	s.mu.Lock()
+	hdr := watchHeader{Schema: WatchSchema, BucketSec: s.cfg.WatchBucketSec}
+	s.mu.Unlock()
+	if err := enc.Encode(hdr); err != nil {
+		return
+	}
+	next := 0
+	for {
+		s.mu.Lock()
+		for follow && next >= len(s.watch) && s.hasWorkLocked() {
+			s.cond.Wait()
+		}
+		evs := s.watch[next:]
+		next = len(s.watch)
+		more := follow && s.hasWorkLocked()
+		s.mu.Unlock()
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		if !more {
+			return
+		}
+	}
+}

@@ -68,6 +68,9 @@ type Config struct {
 	// DrainStepBudget is how many more engine steps each active job may
 	// take once draining starts before it is canceled and checkpointed.
 	DrainStepBudget int
+	// WatchBucketSec is the virtual-time bucket width of the telemetry
+	// series behind /watch and /series; 0 takes obs.DefaultBucketSec.
+	WatchBucketSec float64
 	// DisableVet turns off plan vetting at admission. By default every
 	// submitted spec runs the internal/plan rule battery — against this
 	// config's cluster shape and tenant quota — and findings reject the
@@ -111,6 +114,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainStepBudget <= 0 {
 		c.DrainStepBudget = 4
+	}
+	if c.WatchBucketSec <= 0 {
+		c.WatchBucketSec = obs.DefaultBucketSec
 	}
 	if c.BaseContext == nil {
 		c.BaseContext = context.Background()
@@ -218,14 +224,22 @@ type job struct {
 	backoff  float64 // accumulated virtual retry backoff, seconds
 	err      error
 
-	// Running state, owned by the step loop.
+	// Running state, owned by the step loop. rec is the job's private
+	// telemetry recorder, installed as the run's probe on every attempt.
 	run        *engine.Run
+	rec        *obs.Recorder
 	cancel     context.CancelCauseFunc
 	admitSeq   int
 	drainSteps int
 
+	// progress is the job's last engine.Progress view. Only the step loop
+	// writes it (under s.mu, after each step and at retirement), so status
+	// handlers read it without ever touching the run.
+	progress engine.Progress
+
 	// Terminal state.
 	end          sim.VTime
+	series       *obs.SeriesDoc
 	snapshot     *obs.Snapshot
 	checkpointed int
 	auditLineage []string
@@ -295,6 +309,16 @@ type Server struct {
 	draining    bool
 	stopped     bool
 	ctr         counters
+
+	// Telemetry: rec is the service-level recorder (quota series via
+	// SetProbe, admission-event series on the shared logical clock), tctr
+	// the per-tenant lifecycle counters surfaced on /metrics, watch the
+	// append-only event log behind GET /watch.
+	rec      *obs.Recorder
+	tctr     map[string]*tenantCounters
+	watch    []WatchEvent
+	watchSeq int
+	eventSeq int64
 }
 
 // New starts a server and its step loop.
@@ -316,8 +340,13 @@ func newServer(cfg Config) *Server {
 		jobs:        make(map[string]*job),
 		strikes:     make(map[string]int),
 		quarantined: make(map[string]int),
+		rec:         obs.NewRecorder(),
+		tctr:        make(map[string]*tenantCounters),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	// Quota accounting shares the service recorder, so /series carries
+	// per-tenant reserved/headroom gauges next to the admission series.
+	s.quotas.SetProbe(s.rec)
 	return s
 }
 
@@ -377,11 +406,15 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	}
 	if left, ok := s.quarantined[req.Tenant]; ok {
 		s.ctr.quarantineRejected++
+		s.tenantLocked(req.Tenant).quarantineRejected++
+		s.eventLocked("quarantine_rejected", req.Tenant)
 		return JobStatus{}, &QuarantineError{Tenant: req.Tenant, CooldownJobs: left}
 	}
 	reserve := sim.Bytes(s.cfg.Workers) * s.cfg.MemPerWorker
 	if err := s.quotas.Reserve(req.Tenant, reserve); err != nil {
 		s.ctr.quotaRejected++
+		s.tenantLocked(req.Tenant).quotaRejected++
+		s.eventLocked("quota_rejected", req.Tenant)
 		return JobStatus{}, err
 	}
 	deadline := sim.VTime(s.cfg.DeadlineSec)
@@ -405,11 +438,16 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	if !s.queue.Push(j.id, j.tenant, j.priority) {
 		s.quotas.Release(j.tenant, reserve)
 		s.ctr.shed++
+		s.tenantLocked(j.tenant).shed++
+		s.eventLocked("shed", j.tenant)
 		return JobStatus{}, ErrQueueFull
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.ctr.submitted++
+	s.tenantLocked(j.tenant).submitted++
+	s.eventLocked("submitted", j.tenant)
+	s.watchLifecycleLocked(j, 0)
 	s.cond.Broadcast()
 	return s.statusLocked(j), nil
 }
@@ -545,6 +583,10 @@ func (s *Server) loop() {
 			if !alive {
 				s.removeActiveLocked(j)
 				s.finalizeRunLocked(j)
+			} else {
+				// Refresh the job's progress view at the step boundary;
+				// handlers read this stored copy, never the run.
+				j.progress = run.Progress()
 			}
 		}
 		s.cond.Broadcast()
@@ -590,24 +632,32 @@ func (s *Server) startLocked(j *job) error {
 		return err
 	}
 	ctx, cancel := context.WithCancelCause(s.cfg.BaseContext)
+	// A fresh recorder per attempt: a retry replays the fault plan from
+	// scratch, so its telemetry must not accumulate onto the failed
+	// attempt's series.
+	rec := obs.NewRecorder()
 	run, err := engine.NewRun(plan, engine.Options{
 		Cluster: cl,
 		Policy:  memorymgr.AMM,
 		Faults:  j.fplan,
 		Context: ctx,
+		Probe:   rec,
 	}, 0)
 	if err != nil {
 		cancel(nil)
 		return err
 	}
 	j.run = run
+	j.rec = rec
 	j.cancel = cancel
 	j.attempts++
 	j.drainSteps = 0
 	j.state = StateRunning
+	j.progress = run.Progress()
 	s.admitSeq++
 	j.admitSeq = s.admitSeq
 	s.active = append(s.active, j)
+	s.watchLifecycleLocked(j, run.Now().Seconds())
 	return nil
 }
 
@@ -677,11 +727,15 @@ func (s *Server) finalizeRunLocked(j *job) {
 			// Transient failure with attempts left: requeue with the
 			// policy's exponential backoff charged in virtual seconds.
 			j.backoff += s.cfg.Retry.Backoff(j.attempts)
-			j.run, j.cancel = nil, nil
+			j.progress = j.run.Progress()
+			j.run, j.rec, j.cancel = nil, nil, nil
 			if s.queue.Push(j.id, j.tenant, j.priority) {
 				j.state = StateQueued
 				j.err = nil
 				s.ctr.retried++
+				s.tenantLocked(j.tenant).retried++
+				s.eventLocked("retried", j.tenant)
+				s.watchLifecycleLocked(j, 0)
 				return
 			}
 			// No room to retry: shed the retry, fail the job.
@@ -704,12 +758,17 @@ func (s *Server) retireLocked(j *job, state string, err error) {
 	j.state = state
 	j.err = err
 	j.end = j.run.Now()
+	j.progress = j.run.Progress()
 	j.snapshot = j.run.Snapshot()
+	j.series = j.rec.Series(sim.VTime(s.cfg.WatchBucketSec))
 	j.selections = j.run.ChooseSelections()
 	j.auditLineage = j.run.AuditLineage()
 	j.auditBooks = j.run.AuditAccounting()
-	j.run, j.cancel = nil, nil
+	j.run, j.rec, j.cancel = nil, nil, nil
 	s.quotas.Release(j.tenant, j.reserve)
+	s.tenantRetireLocked(j)
+	s.watchLifecycleLocked(j, j.end.Seconds())
+	s.watchBucketsLocked(j)
 	s.completionLocked()
 }
 
@@ -724,6 +783,8 @@ func (s *Server) finalizeQueuedLocked(j *job, state string, err error) {
 		s.ctr.failed++
 	}
 	s.quotas.Release(j.tenant, j.reserve)
+	s.tenantRetireLocked(j)
+	s.watchLifecycleLocked(j, 0)
 	s.completionLocked()
 }
 

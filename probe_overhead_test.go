@@ -1,0 +1,72 @@
+package metadataflow
+
+import (
+	"testing"
+
+	"metadataflow/internal/cluster"
+	"metadataflow/internal/engine"
+	"metadataflow/internal/memorymgr"
+	"metadataflow/internal/obs"
+	"metadataflow/internal/scheduler"
+	"metadataflow/internal/workload/synthetic"
+)
+
+// probeOverheadRatioBound caps how much slower a fully recorded run may be
+// than a probe-less one. The measured ratio on the reference workload sits
+// around 1.6× (spans, counters, decisions, and the full series layer:
+// per-stage latency observations, branch progress gauges, rank churn);
+// 3× leaves room for machine noise while still catching a probe call
+// leaking into a hot loop or a series emission turning quadratic.
+const probeOverheadRatioBound = 3.0
+
+// TestProbeOverheadBounded turns the BenchmarkEngineRun /
+// BenchmarkEngineRunRecorded pair into an asserted bound: telemetry must
+// stay a bounded constant factor on a full engine run, and a nil probe is
+// the zero-cost baseline. Run as part of the plain test suite; skipped
+// under -short (it runs two real benchmarks).
+func TestProbeOverheadBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed bound; skipped in short mode")
+	}
+	execute := func(probe obs.Probe) func(b *testing.B) {
+		return func(b *testing.B) {
+			p := synthetic.Defaults()
+			p.Rows = 400
+			p.OuterBranches, p.InnerBranches = 5, 5
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, err := synthetic.BuildMDF(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pr := probe
+				if pr != nil {
+					// A fresh recorder per run, as the service attaches one.
+					pr = obs.NewRecorder()
+				}
+				_, err = engine.Execute(g, engine.Options{
+					Cluster:     cluster.MustNew(cluster.DefaultConfig()),
+					Policy:      memorymgr.AMM,
+					Scheduler:   scheduler.BAS(nil),
+					Incremental: true,
+					Probe:       pr,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	plain := testing.Benchmark(execute(nil))
+	recorded := testing.Benchmark(execute(obs.NewRecorder()))
+	if plain.N == 0 || plain.NsPerOp() <= 0 {
+		t.Skipf("degenerate baseline measurement: %v", plain)
+	}
+	ratio := float64(recorded.NsPerOp()) / float64(plain.NsPerOp())
+	t.Logf("plain %v/op, recorded %v/op, ratio %.2f (bound %.1f)",
+		plain.NsPerOp(), recorded.NsPerOp(), ratio, probeOverheadRatioBound)
+	if ratio > probeOverheadRatioBound {
+		t.Errorf("recorded run is %.2f× the probe-less run, bound %.1f×: telemetry overhead regressed",
+			ratio, probeOverheadRatioBound)
+	}
+}
