@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help build test vet lint specvet race race-short experiments-quick fuzz-short chaos-short chaos serve-short bench-baseline bench-trajectory ci clean
+.PHONY: all help build test vet lint specvet race race-short experiments-quick fuzz-short chaos-short chaos crash-short serve-short bench-baseline bench-trajectory ci clean
 
 all: build
 
@@ -18,10 +18,11 @@ help:
 	@echo "  fuzz-short        brief fuzz runs of the JSON parsers"
 	@echo "  chaos-short       deterministic 50-trial chaos sweep, run twice and compared"
 	@echo "  chaos             long randomized chaos sweep (CHAOS_SEED, CHAOS_TRIALS)"
+	@echo "  crash-short       kill-and-restart sweep at every journal record boundary, run twice and compared"
 	@echo "  serve-short       service-layer tests (admission, quotas, drain, HTTP)"
 	@echo "  bench-baseline    regenerate BENCH_*.json and fail on byte drift"
 	@echo "  bench-trajectory  regenerate BENCH_*.json and fail if any series regresses past MDFSTAT_THRESHOLD (mdfstat)"
-	@echo "  ci                the merge gate: vet lint specvet build race race-short chaos-short experiments-quick serve-short bench-trajectory bench-baseline"
+	@echo "  ci                the merge gate: vet lint specvet build race race-short chaos-short crash-short experiments-quick serve-short bench-trajectory bench-baseline"
 
 build:
 	$(GO) build ./...
@@ -73,6 +74,7 @@ fuzz-short:
 	$(GO) test ./internal/spec -run='^$$' -fuzz=FuzzParse -fuzztime=5s
 	$(GO) test ./internal/spec -run='^$$' -fuzz=FuzzCanonical -fuzztime=5s
 	$(GO) test ./internal/faults -run='^$$' -fuzz=FuzzParse -fuzztime=5s
+	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzJournalReplay -fuzztime=5s
 
 # chaos-short is the deterministic chaos gate: a fixed-seed 50-trial sweep
 # (random cluster + workload + fault plan per trial, golden-vs-faulted
@@ -94,6 +96,25 @@ CHAOS_SEED ?= 1
 CHAOS_TRIALS ?= 1000
 chaos: build
 	$(GO) run ./cmd/mdfchaos -trials $(CHAOS_TRIALS) -seed $(CHAOS_SEED) -repro chaos-repro.json
+
+# crash-short is the crash-consistency gate: a fixed-seed sweep that kills
+# and restarts a durable mdfserve at every journal record boundary — with
+# seeded torn tails, journal bit flips and checkpoint corruption — and
+# asserts each recovered run matches the uninterrupted golden run exactly
+# (see ARCHITECTURE.md "Durability and crash recovery"). The sweep runs
+# twice into separate state roots; the logs must compare byte-for-byte and
+# the golden journals of the two runs must be identical, proving the
+# durable path itself is deterministic. Part of ci.
+crash-short: build
+	rm -rf .crash-a .crash-b
+	$(GO) run ./cmd/mdfchaos -crash -trials 50 -seed 1 -state-root .crash-a > .crash-short-a.log
+	$(GO) run ./cmd/mdfchaos -crash -trials 50 -seed 1 -state-root .crash-b > .crash-short-b.log
+	cmp .crash-short-a.log .crash-short-b.log
+	@for d in .crash-a/trial-*/golden/journal; do \
+		diff -r $$d .crash-b/$${d#.crash-a/} || exit 1; \
+	done
+	@tail -n 1 .crash-short-a.log
+	@rm -rf .crash-a .crash-b .crash-short-a.log .crash-short-b.log
 
 # serve-short exercises the mdfserve service layer: admission control,
 # quotas, deadlines, quarantine, drain/checkpoint and the HTTP surface
@@ -128,7 +149,7 @@ bench-trajectory: build
 	@rm -rf .bench-traj
 
 # ci is the gate a change must pass before merging.
-ci: vet lint specvet build race race-short chaos-short experiments-quick serve-short bench-trajectory bench-baseline
+ci: vet lint specvet build race race-short chaos-short crash-short experiments-quick serve-short bench-trajectory bench-baseline
 
 clean:
 	$(GO) clean ./...

@@ -5,11 +5,18 @@
 // and written as a self-contained JSON file replayable with -replay here or
 // with `mdfrun -faults`.
 //
+// With -crash the harness switches to the crash-restart oracle: each trial
+// runs a batch of jobs on a durable mdfserve instance, then kills and
+// restarts the service at every journal record boundary (with seeded torn
+// tails, journal bit flips and checkpoint corruption) and asserts the
+// recovered outcomes match the uninterrupted run exactly.
+//
 // Usage:
 //
 //	mdfchaos -trials 50 -seed 1
 //	mdfchaos -trials 200 -seed 7 -oracle accounting,lineage
 //	mdfchaos -replay chaos-repro.json
+//	mdfchaos -crash -trials 50 -seed 1 -state-root /tmp/mdfcrash
 //
 // Exit codes: 0 all trials passed, 1 violations found, 2 bad usage,
 // 3 a replayed repro still violates its oracle.
@@ -25,14 +32,54 @@ import (
 
 func main() {
 	var (
-		trials   = flag.Int("trials", 50, "number of generated trials to run")
-		seed     = flag.Int64("seed", 1, "sweep seed; same seed and trials reproduce the sweep bit for bit")
-		oracle   = flag.String("oracle", "", "comma-separated oracle filter (default all): "+joinOracles())
-		replay   = flag.String("replay", "", "replay a chaos-repro.json file instead of sweeping")
-		reproOut = flag.String("repro", "chaos-repro.json", "where to write the shrunk repro of the first violation")
+		trials    = flag.Int("trials", 50, "number of generated trials to run")
+		seed      = flag.Int64("seed", 1, "sweep seed; same seed and trials reproduce the sweep bit for bit")
+		oracle    = flag.String("oracle", "", "comma-separated oracle filter (default all): "+joinOracles())
+		replay    = flag.String("replay", "", "replay a chaos-repro.json file instead of sweeping")
+		reproOut  = flag.String("repro", "chaos-repro.json", "where to write the shrunk repro of the first violation")
+		crash     = flag.Bool("crash", false, "run the crash-restart oracle against a durable service instead of the engine sweep")
+		stateRoot = flag.String("state-root", "", "crash mode: directory for per-trial service state (default a temp dir, removed on success)")
 	)
 	flag.Parse()
+	if *crash {
+		os.Exit(runCrash(*trials, *seed, *stateRoot))
+	}
 	os.Exit(run(*trials, *seed, *oracle, *replay, *reproOut))
+}
+
+// runCrash executes the crash-restart sweep. State directories land under
+// stateRoot (kept for inspection when the caller names one, removed
+// otherwise), and the per-trial log lines are deterministic for a given
+// seed and trial count.
+func runCrash(trials int, seed int64, stateRoot string) int {
+	if trials < 1 {
+		fmt.Fprintf(os.Stderr, "mdfchaos: -trials must be positive, got %d\n", trials)
+		return 2
+	}
+	keep := stateRoot != ""
+	if !keep {
+		dir, err := os.MkdirTemp("", "mdfcrash-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		stateRoot = dir
+	}
+	res, err := chaos.CrashSweep(seed, trials, stateRoot, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("crash sweep: %d trials, %d restart boundaries, %d violations (seed %d)\n",
+		res.Trials, res.Boundaries, res.Violations, seed)
+	if res.Violations > 0 {
+		fmt.Printf("state kept under %s\n", stateRoot)
+		return 1
+	}
+	if !keep {
+		os.RemoveAll(stateRoot)
+	}
+	return 0
 }
 
 func joinOracles() string {

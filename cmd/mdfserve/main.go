@@ -9,6 +9,7 @@
 //	mdfserve -addr :8080
 //	mdfserve -addr :8080 -max-active 4 -queue-cap 32 -deadline-sec 600
 //	mdfserve -addr :8080 -drain-metrics metrics.json   # flushed on SIGTERM
+//	mdfserve -addr :8080 -state-dir /var/lib/mdfserve   # crash-consistent
 //
 // Submit a job:
 //
@@ -42,16 +43,18 @@ func main() {
 		drainBudget  = flag.Int("drain-steps", 4, "engine steps granted to each in-flight job during drain before checkpointing")
 		drainMetrics = flag.String("drain-metrics", "", "write the final aggregated metrics snapshot to this file on shutdown")
 		noVet        = flag.Bool("no-vet", false, "skip plan vetting at admission (by default specs the verifier condemns are rejected with 400 before any quota is reserved)")
+		stateDir     = flag.String("state-dir", "", "crash-consistent state directory (job journal + durable checkpoint store); on start the journal is replayed and interrupted jobs resume")
+		noSync       = flag.Bool("journal-no-sync", false, "skip the per-record journal fsync (faster, may lose the last records on a crash)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *memMB, *quotaMB, *queueCap, *maxActive, *deadlineSec, *drainBudget, *drainMetrics, *noVet); err != nil {
+	if err := run(*addr, *workers, *memMB, *quotaMB, *queueCap, *maxActive, *deadlineSec, *drainBudget, *drainMetrics, *noVet, *stateDir, *noSync); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers int, memMB, quotaMB int64, queueCap, maxActive int, deadlineSec float64, drainBudget int, drainMetrics string, noVet bool) error {
-	srv := service.New(service.Config{
+func run(addr string, workers int, memMB, quotaMB int64, queueCap, maxActive int, deadlineSec float64, drainBudget int, drainMetrics string, noVet bool, stateDir string, noSync bool) error {
+	srv, err := service.Open(service.Config{
 		Workers:         workers,
 		MemPerWorker:    sim.Bytes(memMB) << 20,
 		TenantQuota:     sim.Bytes(quotaMB) << 20,
@@ -60,7 +63,20 @@ func run(addr string, workers int, memMB, quotaMB int64, queueCap, maxActive int
 		DeadlineSec:     deadlineSec,
 		DrainStepBudget: drainBudget,
 		DisableVet:      noVet,
+		StateDir:        stateDir,
+		JournalNoSync:   noSync,
 	})
+	if err != nil {
+		return fmt.Errorf("mdfserve: recovering state from %s: %w", stateDir, err)
+	}
+	if stateDir != "" {
+		m := srv.Metrics()
+		recovered, _ := m.CounterValue("service.recovery.jobs_recovered")
+		requeued, _ := m.CounterValue("service.recovery.jobs_requeued")
+		truncated, _ := m.CounterValue("service.recovery.journal_truncated")
+		fmt.Printf("mdfserve: recovered %d jobs from %s (%d requeued, %d journal truncations healed)\n",
+			recovered, stateDir, requeued, truncated)
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -1,14 +1,17 @@
 // mdfstat diffs two MDF telemetry artifacts — mdf.bench/v1 benchmark
-// tables or mdf.metrics/v1 run snapshots — and renders a per-series delta
-// table. It is the trajectory gate behind `make bench-trajectory`: when a
-// watched series regresses past the threshold (the current value is worse
-// than the baseline by more than -threshold percent), mdfstat prints the
-// offending rows and exits 1, so CI catches a performance regression even
-// when the artifact bytes legitimately changed.
+// tables, mdf.metrics/v1 run snapshots, or mdf.watch/v1 event-stream
+// captures — and renders a per-series delta table (or, for watch logs, a
+// crash-recovery completeness report). It is the trajectory gate behind
+// `make bench-trajectory`: when a watched series regresses past the
+// threshold (the current value is worse than the baseline by more than
+// -threshold percent), mdfstat prints the offending rows and exits 1, so
+// CI catches a performance regression even when the artifact bytes
+// legitimately changed.
 //
 // Usage:
 //
 //	mdfstat [-threshold pct] [-watch regex] [-higher-better] baseline.json current.json
+//	mdfstat pre-crash.watch post-recovery.watch
 //
 // Both artifacts must carry the same schema. Bench tables flatten to one
 // series per (row, column) cell using the cell's avg; metrics snapshots
@@ -18,8 +21,14 @@
 // -higher-better inverts the direction for throughput-like artifacts.
 // Series present on only one side are reported but never gated.
 //
-// Exit codes: 0 no regression, 1 regression past threshold, 2 usage or
-// malformed input.
+// Watch captures (NDJSON streams saved from mdfserve's GET /watch) are
+// compared as pre-crash baseline vs post-recovery current: each log's
+// event sequence must be dense from 1, and every lifecycle transition
+// streamed before the crash must reappear after recovery. Missing events
+// are printed and gate exit 1.
+//
+// Exit codes: 0 no regression, 1 regression past threshold (or lost
+// events), 2 usage or malformed input.
 package main
 
 import (
@@ -210,6 +219,14 @@ func run(args []string, stdout, stderr *os.File) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "mdfstat: bad -watch: %v\n", err)
 		return 2
+	}
+	baseWatch, curWatch := sniffWatch(fs.Arg(0)), sniffWatch(fs.Arg(1))
+	if baseWatch || curWatch {
+		if !baseWatch || !curWatch {
+			fmt.Fprintf(stderr, "mdfstat: schema mismatch: one input is %s, the other is not\n", watchSchema)
+			return 2
+		}
+		return runWatchDiff(fs.Arg(0), fs.Arg(1), stdout, stderr)
 	}
 	baseArt, err := load(fs.Arg(0))
 	if err != nil {

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// watchSchema is the /watch NDJSON stream format emitted by mdfserve: one
+// header line carrying the schema and bucket width, then one event object
+// per line. mdfstat treats a pair of captured streams as "before crash"
+// and "after recovery" and verifies the restart lost nothing.
+const watchSchema = "mdf.watch/v1"
+
+// watchEvent mirrors the service's WatchEvent wire shape. It is redeclared
+// here (rather than imported) so mdfstat stays a pure artifact consumer
+// with no dependency on the service package.
+type watchEvent struct {
+	Seq    int                `json:"seq"`
+	Kind   string             `json:"kind"`
+	Job    string             `json:"job"`
+	Tenant string             `json:"tenant"`
+	State  string             `json:"state,omitempty"`
+	TSec   float64            `json:"tSec"`
+	Bucket int                `json:"bucket,omitempty"`
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// watchLog is one parsed /watch capture.
+type watchLog struct {
+	bucketSec float64
+	events    []watchEvent
+}
+
+// sniffWatch reports whether the file's first line is a mdf.watch/v1
+// header, without committing to a full parse. Read errors report false and
+// fall through to the artifact loader, which surfaces them properly.
+func sniffWatch(path string) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	line := raw
+	if i := bytes.IndexByte(raw, '\n'); i >= 0 {
+		line = raw[:i]
+	}
+	var hdr struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return false
+	}
+	return hdr.Schema == watchSchema
+}
+
+// loadWatch parses a captured /watch stream: a header line then events. A
+// malformed line, wrong schema, or a sequence gap inside the log is a hard
+// error — the capture itself is damaged, which is different from the
+// cross-log comparison failing.
+func loadWatch(path string) (*watchLog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%s: empty watch log", path)
+	}
+	var hdr struct {
+		Schema    string  `json:"schema"`
+		BucketSec float64 `json:"bucketSec"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("%s: bad watch header: %w", path, err)
+	}
+	if hdr.Schema != watchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %s", path, hdr.Schema, watchSchema)
+	}
+	log := &watchLog{bucketSec: hdr.BucketSec}
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var ev watchEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("%s:%d: bad watch event: %w", path, line, err)
+		}
+		if want := len(log.events) + 1; ev.Seq != want {
+			return nil, fmt.Errorf("%s:%d: seq %d, want dense %d", path, line, ev.Seq, want)
+		}
+		log.events = append(log.events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return log, nil
+}
+
+// lifecycleKey renders one lifecycle transition as a comparable string.
+// Bucket events are excluded from the recovery check on purpose: gauge
+// bucket replays are produced by live runs, so a restarted service's
+// /watch log carries only the recovered lifecycle history — the buckets
+// streamed before the crash are legitimately gone.
+func lifecycleKey(ev watchEvent) string {
+	return fmt.Sprintf("%s %s/%s state=%s t=%g", ev.Tenant, ev.Job, ev.Kind, ev.State, ev.TSec)
+}
+
+// lifecycleCounts builds the multiset of lifecycle transitions in a log.
+func lifecycleCounts(log *watchLog) map[string]int {
+	counts := make(map[string]int)
+	for _, ev := range log.events {
+		if ev.Kind == "lifecycle" {
+			counts[lifecycleKey(ev)]++
+		}
+	}
+	return counts
+}
+
+// runWatchDiff compares a pre-crash /watch capture against a post-recovery
+// one. Every lifecycle transition the clients saw before the crash must
+// reappear after recovery (as a multiset — duplicates from retries count);
+// anything missing means the restart silently lost job history. Extra
+// events in the current log are fine: recovery re-executes incomplete
+// jobs, which emits new transitions.
+func runWatchDiff(basePath, curPath string, stdout, stderr *os.File) int {
+	base, err := loadWatch(basePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "mdfstat: %v\n", err)
+		return 2
+	}
+	cur, err := loadWatch(curPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "mdfstat: %v\n", err)
+		return 2
+	}
+	if base.bucketSec != cur.bucketSec {
+		fmt.Fprintf(stderr, "mdfstat: watch bucket width changed across restart: %g vs %g\n",
+			base.bucketSec, cur.bucketSec)
+		return 2
+	}
+	baseCounts := lifecycleCounts(base)
+	curCounts := lifecycleCounts(cur)
+	var missing []string
+	lost := 0
+	for key, n := range baseCounts {
+		if short := n - curCounts[key]; short > 0 {
+			lost += short
+			missing = append(missing, fmt.Sprintf("%s (x%d)", key, short))
+		}
+	}
+	sort.Strings(missing)
+	fmt.Fprintf(stdout, "watch logs: %d events pre-crash, %d post-recovery; %d lifecycle transitions checked\n",
+		len(base.events), len(cur.events), len(baseCounts))
+	if lost > 0 {
+		for _, m := range missing {
+			fmt.Fprintf(stdout, "LOST %s\n", m)
+		}
+		fmt.Fprintf(stderr, "mdfstat: recovery lost %d lifecycle event(s) across the restart boundary\n", lost)
+		return 1
+	}
+	fmt.Fprintln(stdout, "recovery preserved all pre-crash lifecycle events")
+	return 0
+}

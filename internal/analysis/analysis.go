@@ -198,6 +198,8 @@ func DefaultConfig() Config {
 			"internal/obs",
 			"internal/spec",
 			"internal/plan",
+			"internal/journal",
+			"internal/ckptstore",
 			"cmd/mdfstat",
 		}},
 		SeededRand: RuleScope{Dirs: []string{"internal"}, IncludeTests: true},
@@ -213,6 +215,8 @@ func DefaultConfig() Config {
 			"internal/baseline",
 			"internal/obs",
 			"internal/plan",
+			"internal/journal",
+			"internal/ckptstore",
 			"cmd/mdfstat",
 		}},
 		LeakCheck:        RuleScope{Dirs: []string{"internal"}},
@@ -227,6 +231,9 @@ func DefaultConfig() Config {
 			{Acquire: "Pin", Release: "Unpin"},
 			{Acquire: "SpanBegin", Release: "SpanEnd"},
 			{Acquire: "IntervalBegin", Release: "IntervalEnd"},
+			// Durable state handles: whoever opens a journal or checkpoint
+			// store must close it somewhere in the same package.
+			{Acquire: "Open", Release: "Close"},
 		},
 
 		WallclockFuncs: []string{

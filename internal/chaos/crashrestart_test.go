@@ -1,0 +1,130 @@
+package chaos
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"metadataflow/internal/journal"
+)
+
+// TestCrashSweepEquivalentAtEveryBoundary runs a small sweep and demands
+// zero violations: every kill-and-restart boundary of every trial must
+// reproduce the golden statuses and metrics exactly.
+func TestCrashSweepEquivalentAtEveryBoundary(t *testing.T) {
+	var log bytes.Buffer
+	res, err := CrashSweep(7, 2, t.TempDir(), &log)
+	if err != nil {
+		t.Fatalf("sweep: %v\n%s", err, log.Bytes())
+	}
+	if res.Violations != 0 {
+		t.Fatalf("%d violations:\n%s", res.Violations, log.Bytes())
+	}
+	if res.Boundaries < 10 {
+		t.Fatalf("only %d boundaries exercised — journals suspiciously short:\n%s",
+			res.Boundaries, log.Bytes())
+	}
+}
+
+// TestCrashSweepDeterministic runs the same sweep twice into separate
+// state roots and compares both the log output and the golden journals
+// byte for byte — the property `make crash-short` gates on.
+func TestCrashSweepDeterministic(t *testing.T) {
+	roots := []string{t.TempDir(), t.TempDir()}
+	var logs [2]bytes.Buffer
+	for i, root := range roots {
+		if _, err := CrashSweep(11, 1, root, &logs[i]); err != nil {
+			t.Fatalf("sweep %d: %v", i, err)
+		}
+	}
+	if !bytes.Equal(logs[0].Bytes(), logs[1].Bytes()) {
+		t.Fatalf("sweep logs diverged:\n%s\n---\n%s", logs[0].Bytes(), logs[1].Bytes())
+	}
+	for _, sub := range []string{"trial-0/golden/journal"} {
+		a, err := os.ReadDir(filepath.Join(roots[0], sub))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadDir(filepath.Join(roots[1], sub))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("segment counts diverged: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			pa, _ := os.ReadFile(filepath.Join(roots[0], sub, a[i].Name()))
+			pb, _ := os.ReadFile(filepath.Join(roots[1], sub, b[i].Name()))
+			if !bytes.Equal(pa, pb) {
+				t.Fatalf("journal segment %s diverged between identical sweeps", a[i].Name())
+			}
+		}
+	}
+}
+
+// TestGenCrashTrialSpecShape pins the generator's envelope: job counts,
+// tenants, and that each journal the golden run would write is replayable
+// by construction (specs parse, fault plans parse).
+func TestGenCrashTrialSpecShape(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		spec, err := GenCrashTrialSpec(3, trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(spec.Jobs) < 2 || len(spec.Jobs) > 4 {
+			t.Fatalf("trial %d has %d jobs", trial, len(spec.Jobs))
+		}
+		if spec.MaxTornBytes < 1 {
+			t.Fatalf("trial %d torn bound %d", trial, spec.MaxTornBytes)
+		}
+		again, err := GenCrashTrialSpec(3, trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again.Jobs[0].Spec) != string(spec.Jobs[0].Spec) {
+			t.Fatalf("trial %d generation is not deterministic", trial)
+		}
+	}
+}
+
+// TestCrashTrialSurvivesPrefixDamage points the harness at a trial and
+// additionally verifies the cut directories it leaves behind hold dense,
+// replayable journals after the restarted server healed them.
+func TestCrashTrialSurvivesPrefixDamage(t *testing.T) {
+	spec, err := GenCrashTrialSpec(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	res, err := RunCrashTrial(spec, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %+v", res.Violations)
+	}
+	// Every healed cut journal must replay cleanly with dense sequences.
+	for k := 0; k <= res.Records; k++ {
+		jdir := filepath.Join(root, "cut-"+pad4(k), "journal")
+		recs, err := journal.Replay(jdir)
+		if err != nil {
+			t.Fatalf("cut %d journal does not replay after heal: %v", k, err)
+		}
+		for i, rec := range recs {
+			if rec.Seq != int64(i+1) {
+				t.Fatalf("cut %d journal seq %d at index %d", k, rec.Seq, i)
+			}
+		}
+	}
+}
+
+func pad4(k int) string {
+	const digits = "0123456789"
+	b := []byte{'0', '0', '0', '0'}
+	for i := 3; i >= 0 && k > 0; i-- {
+		b[i] = digits[k%10]
+		k /= 10
+	}
+	return string(b)
+}

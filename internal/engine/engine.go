@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 
+	"metadataflow/internal/ckptstore"
 	"metadataflow/internal/cluster"
 	"metadataflow/internal/dataset"
 	"metadataflow/internal/faults"
@@ -22,6 +23,7 @@ import (
 	"metadataflow/internal/obs"
 	"metadataflow/internal/scheduler"
 	"metadataflow/internal/sim"
+	"metadataflow/internal/spec"
 )
 
 // Options configures a run.
@@ -70,6 +72,17 @@ type Options struct {
 	// background disk writes that overlap compute and cut the lineage
 	// re-derivation cost of later failures. Implied by Faults.
 	Checkpoint bool
+	// Ckpts, when non-nil, mirrors every durable checkpoint into a
+	// content-addressed store on disk (internal/ckptstore) and verifies
+	// entries before trusting them during crash recovery: a missing or
+	// corrupt entry demotes the durable copy and the partition is
+	// re-derived by lineage. The simulation's checkpoint cost model is
+	// unchanged; the store adds restart durability on top.
+	Ckpts *ckptstore.Store
+	// CkptChains maps operator IDs (graph creation order) to their spec
+	// chain-prefix hashes, from spec.HashReport().OpChains. Required for
+	// Ckpts to key entries; stages without a mapping are not mirrored.
+	CkptChains []spec.Hash
 	// Context, when non-nil, cancels the run between stages: the next Step
 	// after the context is done fails the run with an error wrapping the
 	// cancellation cause (context.Cause). Long-lived callers — the service
@@ -452,6 +465,7 @@ func (r *Run) CheckpointLive() int {
 			if t := a.Checkpoint(key, r.now); t > end {
 				end = t
 			}
+			r.mirrorCheckpoint(st, d, i)
 			n++
 		}
 	}
@@ -722,6 +736,7 @@ func (r *Run) registerOutput(st *graph.Stage, d *dataset.Dataset) {
 		for i := range d.Parts {
 			key := d.Key(i)
 			r.allocs[r.nodeOf(key, i)].Checkpoint(key, r.now)
+			r.mirrorCheckpoint(st, d, i)
 		}
 	}
 	if r.liveCount > r.metrics.PeakLiveDatasets {

@@ -177,10 +177,21 @@ func (r *Run) onCrash(c faults.Crash) error {
 	alloc := r.allocs[c.Node]
 	if !c.Permanent {
 		lost := alloc.Crash()
+		// Before trusting the surviving durable copies, verify their
+		// checkpoint-store entries; corrupt ones join the re-derivation.
+		if demoted := r.distrustCorrupt(alloc); len(demoted) > 0 {
+			lost = append(lost, demoted...)
+			memorymgr.SortLost(lost)
+		}
 		r.rederive(lost)
 		return nil
 	}
 	checkpointed, lost := alloc.Evacuate()
+	if ok, corrupt := r.verifyEvacuated(checkpointed); len(corrupt) > 0 {
+		checkpointed = ok
+		lost = append(lost, corrupt...)
+		memorymgr.SortLost(lost)
+	}
 	if err := r.opts.Cluster.Kill(c.Node); err != nil {
 		return fmt.Errorf("engine: fault plan: %w", err)
 	}

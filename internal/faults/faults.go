@@ -142,6 +142,11 @@ type Plan struct {
 	DiskFaults []Window `json:"diskFaults,omitempty"`
 	// Panics fail matching operator invocations.
 	Panics []PanicSpec `json:"panics,omitempty"`
+	// CkptFlips corrupt durable checkpoint-store entries at load time:
+	// the Load-th store read of the run flips one bit in the stored file
+	// before verification, so the load misses and the engine re-derives
+	// by lineage (durability.go).
+	CkptFlips []CkptFlip `json:"ckptFlips,omitempty"`
 }
 
 // Parse decodes a JSON plan and validates it.
@@ -188,6 +193,11 @@ func (p *Plan) Validate() error {
 		case "", TargetEval, TargetTransform:
 		default:
 			return fmt.Errorf("faults: panic spec %d: unknown target %q", i, s.Target)
+		}
+	}
+	for i, f := range p.CkptFlips {
+		if f.Load < 0 || f.Bit < 0 {
+			return fmt.Errorf("faults: ckpt flip %d: negative load %d or bit %d", i, f.Load, f.Bit)
 		}
 	}
 	return nil
@@ -456,7 +466,7 @@ func MustGenerate(cfg GenConfig) *Plan {
 // NumEvents returns the number of fault events the plan schedules: crashes,
 // degradation windows and panic specs. The chaos shrinker minimizes this.
 func (p *Plan) NumEvents() int {
-	return len(p.Crashes) + len(p.Slowdowns) + len(p.DiskFaults) + len(p.Panics)
+	return len(p.Crashes) + len(p.Slowdowns) + len(p.DiskFaults) + len(p.Panics) + len(p.CkptFlips)
 }
 
 // Event records one delivered fault for telemetry: what was injected,
@@ -483,6 +493,8 @@ type Injector struct {
 	slowSeen   []bool
 	diskSeen   []bool
 	panicLeft  []int
+	flipUsed   []bool
+	ckptLoads  int
 	injected   int
 	history    []Event
 }
@@ -496,6 +508,7 @@ func NewInjector(p *Plan) *Injector {
 		slowSeen:   make([]bool, len(p.Slowdowns)),
 		diskSeen:   make([]bool, len(p.DiskFaults)),
 		panicLeft:  make([]int, len(p.Panics)),
+		flipUsed:   make([]bool, len(p.CkptFlips)),
 	}
 	for i, s := range p.Panics {
 		in.panicLeft[i] = s.Times

@@ -1,0 +1,79 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// This file holds the durability-fault injectors the crash-restart
+// oracle uses to decorate a reconstructed journal prefix: torn-write
+// tails (AppendRaw) and bit-flip corruption (FlipBit). They write real
+// damage to real files — replay and Open must survive whatever they
+// produce.
+
+// AppendRaw appends raw bytes to the newest segment, creating the first
+// segment if the journal is empty. The oracle passes a prefix of the
+// next record's encoded frame to model a write torn mid-record by a
+// crash.
+func AppendRaw(dir string, b []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	segs, err := segments(dir)
+	if err != nil {
+		return err
+	}
+	name := segmentName(1)
+	if len(segs) > 0 {
+		name = segs[len(segs)-1]
+	}
+	f, err := os.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// FlipBit flips one bit inside the payload of the idx-th record
+// (0-based) counted across the journal's segments. bit is taken modulo
+// the payload's bit width, so any non-negative bit index lands inside
+// the record. Replay afterwards must stop at that record with a CRC
+// mismatch.
+func FlipBit(dir string, idx int64, bit int) error {
+	segs, err := segments(dir)
+	if err != nil {
+		return err
+	}
+	if bit < 0 {
+		return fmt.Errorf("journal: FlipBit bit %d", bit)
+	}
+	seen := int64(0)
+	for _, seg := range segs {
+		path := filepath.Join(dir, seg)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		off := int64(0)
+		for off+frameHeaderLen <= int64(len(b)) {
+			_, n, reason := decodeFrame(b[off:], seen+1)
+			if reason != "" {
+				return fmt.Errorf("journal: FlipBit hit damage before record %d: %s", idx, reason)
+			}
+			if seen == idx {
+				plen := n - frameHeaderLen
+				k := int64(bit) % (plen * 8)
+				b[off+frameHeaderLen+k/8] ^= 1 << (k % 8)
+				return os.WriteFile(path, b, 0o644)
+			}
+			off += n
+			seen++
+		}
+	}
+	return fmt.Errorf("journal: FlipBit record %d out of range (%d records)", idx, seen)
+}

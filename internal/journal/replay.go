@@ -1,0 +1,102 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// CorruptionError names the first bad frame found during replay: the
+// segment file, the byte offset of the frame within it, the dense index
+// of the record that should have lived there, and why it was rejected.
+// Everything before the bad frame is a trustworthy prefix; nothing after
+// it is.
+type CorruptionError struct {
+	// Segment is the segment filename (not the full path).
+	Segment string
+	// Offset is the byte offset of the bad frame within Segment.
+	Offset int64
+	// Record is the 1-based sequence number the frame should have held.
+	Record int64
+	// Reason says what failed: torn frame, CRC mismatch, bad length,
+	// undecodable payload, or a sequence gap.
+	Reason string
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("journal: corrupt record %d at %s+%d: %s", e.Record, e.Segment, e.Offset, e.Reason)
+}
+
+// Replay reads the journal at dir and returns its valid record prefix.
+// A missing directory is an empty journal. When the log is damaged the
+// prefix up to the damage is returned together with a *CorruptionError
+// describing the first bad frame; a torn tail after a crash is reported
+// the same way and callers treat it as the expected end of the log.
+func Replay(dir string) ([]Record, error) {
+	recs, corrupt := replayDir(dir)
+	if corrupt != nil {
+		return recs, corrupt
+	}
+	return recs, nil
+}
+
+// replayDir scans every segment in order, decoding frames until the
+// first damaged one. It returns a typed *CorruptionError (or nil) rather
+// than error so callers can't lose the nil-ness to a non-nil interface.
+func replayDir(dir string) ([]Record, *CorruptionError) {
+	segs, err := segments(dir)
+	if err != nil {
+		return nil, &CorruptionError{Segment: "", Offset: 0, Record: 1, Reason: err.Error()}
+	}
+	var recs []Record
+	seq := int64(1)
+	for _, seg := range segs {
+		b, err := os.ReadFile(filepath.Join(dir, seg))
+		if err != nil {
+			return recs, &CorruptionError{Segment: seg, Offset: 0, Record: seq, Reason: err.Error()}
+		}
+		off := int64(0)
+		for off < int64(len(b)) {
+			rec, n, reason := decodeFrame(b[off:], seq)
+			if reason != "" {
+				return recs, &CorruptionError{Segment: seg, Offset: off, Record: seq, Reason: reason}
+			}
+			recs = append(recs, rec)
+			off += n
+			seq++
+		}
+	}
+	return recs, nil
+}
+
+// decodeFrame decodes one frame from the head of b, checking framing,
+// CRC, payload decodability, and that the record carries the expected
+// dense sequence number. Returns the record, the frame's byte length,
+// and an empty reason on success.
+func decodeFrame(b []byte, wantSeq int64) (Record, int64, string) {
+	if len(b) < frameHeaderLen {
+		return Record{}, 0, fmt.Sprintf("torn frame header: %d of %d bytes", len(b), frameHeaderLen)
+	}
+	plen := binary.BigEndian.Uint32(b[0:4])
+	if plen == 0 || plen > maxRecordBytes {
+		return Record{}, 0, fmt.Sprintf("bad length prefix %d", plen)
+	}
+	if int64(len(b)-frameHeaderLen) < int64(plen) {
+		return Record{}, 0, fmt.Sprintf("torn payload: %d of %d bytes", len(b)-frameHeaderLen, plen)
+	}
+	payload := b[frameHeaderLen : frameHeaderLen+int64(plen)]
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(b[4:8]); got != want {
+		return Record{}, 0, fmt.Sprintf("crc mismatch: %08x, want %08x", got, want)
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, 0, "undecodable payload: " + err.Error()
+	}
+	if rec.Seq != wantSeq {
+		return Record{}, 0, fmt.Sprintf("sequence gap: seq %d, want %d", rec.Seq, wantSeq)
+	}
+	return rec, frameHeaderLen + int64(plen), ""
+}

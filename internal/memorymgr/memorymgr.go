@@ -380,6 +380,26 @@ func (a *Allocator) Crash() []Lost {
 	return lost
 }
 
+// DropDurable demotes a partition whose durable copy turned out to be
+// unreadable — the checkpoint store failed verification on load. The
+// entry is removed from the allocator and returned as lost so the engine
+// re-derives it by lineage. Reports false when the partition is
+// untracked, still memory-resident (the durable copy is not
+// load-bearing), or has no durable copy to distrust.
+func (a *Allocator) DropDurable(key dataset.PartKey) (Lost, bool) {
+	e, ok := a.entries[key]
+	if !ok || e.inMemory || !e.onDisk {
+		return Lost{}, false
+	}
+	delete(a.entries, key)
+	return Lost{Key: e.key, Bytes: e.bytes}, true
+}
+
+// SortLost orders failure reports by key for deterministic recovery. The
+// engine merges allocator-reported losses with checkpoint-verification
+// demotions and re-sorts before re-deriving.
+func SortLost(ls []Lost) { sortLost(ls) }
+
 // Evacuate empties the allocator for a permanent node loss, returning the
 // partitions that have durable copies (re-creatable from the distributed
 // file system on a surviving node via AdoptSpilled) separately from those

@@ -435,3 +435,38 @@ func TestAccessAccountingProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDropDurableDemotesOnlyDiskOnlyCopies(t *testing.T) {
+	a, _ := newAlloc(2500, LRU, nil)
+	a.SetCheckpointing(true)
+	a.Put(key(1), 1000, 0)
+	a.Put(key(2), 1000, 1)
+	a.Checkpoint(key(1), 2)
+	a.Checkpoint(key(2), 3)
+	// Resident partitions keep their memory copy: the durable one is not
+	// load-bearing, so a corrupt checkpoint demotes nothing.
+	if _, ok := a.DropDurable(key(1)); ok {
+		t.Fatal("DropDurable demoted a memory-resident partition")
+	}
+	// After a crash only durable copies survive; a corrupt one must come
+	// back as lost.
+	if lost := a.Crash(); len(lost) != 0 {
+		t.Fatalf("Crash lost %v, want none (all checkpointed)", lost)
+	}
+	l, ok := a.DropDurable(key(1))
+	if !ok || l.Key != key(1) || l.Bytes != 1000 {
+		t.Fatalf("DropDurable = %+v, %v", l, ok)
+	}
+	if a.Known(key(1)) {
+		t.Fatal("demoted partition still tracked")
+	}
+	if _, ok := a.DropDurable(key(1)); ok {
+		t.Fatal("DropDurable demoted an untracked partition")
+	}
+	if !a.Checkpointed(key(2)) {
+		t.Fatal("unrelated durable copy disturbed")
+	}
+	if err := a.CheckAccounting(); err != nil {
+		t.Fatalf("CheckAccounting: %v", err)
+	}
+}

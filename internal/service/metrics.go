@@ -43,6 +43,20 @@ func (s *Server) metricsLocked() *obs.Snapshot {
 	m.AddCounter("service.queue_depth", int64(s.queue.Len()))
 	m.AddCounter("service.active_jobs", int64(len(s.active)))
 
+	// Restart-recovery accounting, present only on durable servers so a
+	// memory-only server's metrics bytes are unchanged by this feature.
+	// Comparisons across a crash-restart boundary must strip the
+	// service.recovery.* prefix (path-dependent by construction).
+	if s.cfg.StateDir != "" {
+		m.AddCounter("service.recovery.jobs_recovered", s.rctr.jobsRecovered)
+		m.AddCounter("service.recovery.terminal_replayed", s.rctr.terminalReplayed)
+		m.AddCounter("service.recovery.jobs_requeued", s.rctr.requeued)
+		m.AddCounter("service.recovery.dedup_hits", s.rctr.dedupHits)
+		m.AddCounter("service.recovery.journal_records", s.rctr.journalRecords)
+		m.AddCounter("service.recovery.journal_truncated", s.rctr.journalTruncated)
+		m.AddCounter("service.recovery.journal_append_errors", s.rctr.appendErrors)
+	}
+
 	// Per-tenant quota accounting; Tenants() is sorted, so emission order
 	// is deterministic.
 	for _, tenant := range s.quotas.Tenants() {

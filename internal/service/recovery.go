@@ -1,0 +1,319 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"metadataflow/internal/ckptstore"
+	"metadataflow/internal/faults"
+	"metadataflow/internal/journal"
+	"metadataflow/internal/obs"
+	"metadataflow/internal/spec"
+)
+
+// This file is the service's crash-recovery path. A durable server
+// (Config.StateDir set, built with Open) write-ahead-journals every job
+// lifecycle transition (internal/journal) and mirrors engine checkpoints
+// into a content-addressed store (internal/ckptstore). On boot, Open
+// replays the journal's valid prefix and rebuilds admission state:
+//
+//   - terminal jobs are restored verbatim — final state, counters,
+//     metrics snapshot, audit surface — and their quota stays released;
+//   - incomplete jobs re-reserve their tenant quota and requeue at
+//     attempt zero in admitted order: deterministic re-execution from the
+//     journaled spec and fault plan IS the recovery mechanism, and the
+//     engine resumes from whichever checkpoint-store entries verify;
+//   - a dedup index maps (tenant, spec content hash) to recovered job
+//     IDs, so clients that blindly re-submit their jobs after a crash get
+//     the recovered job back instead of a duplicate admission.
+//
+// Torn journal tails and corrupt records cost only the records past the
+// damage: replay trusts the longest valid prefix and the journal writer
+// truncates the rest before appending resumes.
+
+// recoveryCounters aggregates restart-recovery events for /metrics. They
+// exist only on durable servers, and the crash-restart oracle strips them
+// before comparing a restarted run's metrics against an uninterrupted one.
+type recoveryCounters struct {
+	jobsRecovered    int64
+	terminalReplayed int64
+	requeued         int64
+	dedupHits        int64
+	journalRecords   int64
+	journalTruncated int64
+	appendErrors     int64
+}
+
+// Open starts a server like New but with crash-consistent state rooted at
+// cfg.StateDir: the job journal is replayed before the step loop starts,
+// so recovered queued jobs begin executing immediately. An empty StateDir
+// yields a memory-only server identical to New's.
+func Open(cfg Config) (*Server, error) {
+	s := newServer(cfg)
+	if s.cfg.StateDir != "" {
+		if err := s.openState(); err != nil {
+			return nil, err
+		}
+	}
+	go s.loop()
+	return s, nil
+}
+
+// openState opens the checkpoint store, replays the journal's valid
+// prefix into admission state, and readies the journal for appends. No
+// lock is needed: the step loop has not started and the server has not
+// been published.
+func (s *Server) openState() error {
+	s.ckpts = ckptstore.New(filepath.Join(s.cfg.StateDir, "ckpt"))
+	if err := s.ckpts.Open(); err != nil {
+		return err
+	}
+	jdir := filepath.Join(s.cfg.StateDir, "journal")
+	recs, err := journal.Replay(jdir)
+	if err != nil {
+		var ce *journal.CorruptionError
+		if !errors.As(err, &ce) {
+			return err
+		}
+		// Damage past the valid prefix: recovery proceeds from the
+		// prefix, and the writer's Open truncates the rest below.
+		s.rctr.journalTruncated++
+	}
+	if err := s.replay(recs); err != nil {
+		return err
+	}
+	jnl := journal.New(jdir, journal.Options{NoSync: s.cfg.JournalNoSync})
+	if err := jnl.Open(); err != nil {
+		return err
+	}
+	s.jnl = jnl
+	return nil
+}
+
+// replay applies journal records in order, reconstructing jobs, counters,
+// quota reservations and the watch log, then requeues every incomplete
+// job. Replay mirrors the live transition code paths record by record so
+// a restarted server is indistinguishable from one that never died.
+func (s *Server) replay(recs []journal.Record) error {
+	s.rctr.journalRecords = int64(len(recs))
+	for _, rec := range recs {
+		if rec.Kind == journal.KindAdmitted {
+			if err := s.replayAdmitted(rec); err != nil {
+				return err
+			}
+			continue
+		}
+		j, ok := s.jobs[rec.Job]
+		if !ok {
+			return fmt.Errorf("service: recovery: %s record for unknown job %s (seq %d)", rec.Kind, rec.Job, rec.Seq)
+		}
+		switch rec.Kind {
+		case journal.KindStarted:
+			j.attempts = rec.Attempt
+			j.state = StateRunning
+			s.watchLifecycleLocked(j, rec.TSec.Seconds())
+		case journal.KindRetried:
+			j.state = StateQueued
+			j.backoff = rec.BackoffSec.Seconds()
+			s.eventLocked("retried", j.tenant)
+			s.watchLifecycleLocked(j, 0)
+		case journal.KindCheckpointed:
+			j.checkpointed = rec.Parts
+		case journal.KindTerminal:
+			if err := s.replayTerminal(j, rec); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("service: recovery: unknown record kind %q (seq %d)", rec.Kind, rec.Seq)
+		}
+	}
+	// Requeue incomplete jobs in admitted order at attempt zero. Their
+	// journaled spec and fault plan replay deterministically, so
+	// re-execution reproduces the lost outcome; jobs that were running at
+	// the crash transition back to queued in the watch log.
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.terminal() {
+			continue
+		}
+		wasRunning := j.state == StateRunning
+		j.state = StateQueued
+		j.attempts, j.backoff, j.err = 0, 0, nil
+		j.checkpointed = 0
+		j.retries, j.sheds, j.strikes, j.deadlineHit = 0, 0, 0, false
+		if !s.queue.Push(j.id, j.tenant, j.priority) {
+			return fmt.Errorf("service: recovery: queue full requeuing %s", j.id)
+		}
+		if wasRunning {
+			s.watchLifecycleLocked(j, 0)
+		}
+		s.rctr.requeued++
+	}
+	s.rctr.jobsRecovered = int64(len(s.jobs))
+	return nil
+}
+
+// replayAdmitted rebuilds one admission from its journal record: the job,
+// its quota reservation, the submission counters and watch event, and the
+// dedup index entry.
+func (s *Server) replayAdmitted(rec journal.Record) error {
+	sp, err := spec.Parse(rec.Spec)
+	if err != nil {
+		return fmt.Errorf("service: recovery: job %s spec: %w", rec.Job, err)
+	}
+	var fplan *faults.Plan
+	if len(rec.Faults) > 0 {
+		fplan, err = faults.Parse(rec.Faults)
+		if err != nil {
+			return fmt.Errorf("service: recovery: job %s faults: %w", rec.Job, err)
+		}
+	}
+	if _, dup := s.jobs[rec.Job]; dup {
+		return fmt.Errorf("service: recovery: duplicate admitted record for %s (seq %d)", rec.Job, rec.Seq)
+	}
+	j := &job{
+		id:       rec.Job,
+		tenant:   rec.Tenant,
+		priority: rec.Priority,
+		deadline: rec.DeadlineSec,
+		spec:     sp,
+		fplan:    fplan,
+		reserve:  rec.ReserveBytes,
+		state:    StateQueued,
+		chains:   sp.HashReport().OpChains,
+		specHash: rec.SpecHash,
+	}
+	if err := s.quotas.Reserve(j.tenant, j.reserve); err != nil {
+		return fmt.Errorf("service: recovery: re-reserving quota for %s: %w", j.id, err)
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	var n int
+	if _, err := fmt.Sscanf(j.id, "job-%d", &n); err == nil && n > s.seq {
+		s.seq = n
+	}
+	key := j.tenant + "\x1f" + j.specHash
+	s.recovered[key] = append(s.recovered[key], j.id)
+	s.ctr.submitted++
+	s.tenantLocked(j.tenant).submitted++
+	s.eventLocked("submitted", j.tenant)
+	s.watchLifecycleLocked(j, 0)
+	return nil
+}
+
+// replayTerminal restores a retired job verbatim from its terminal
+// record: final state, audit surface, metrics snapshot, and the counter
+// deltas the job contributed in its first life.
+func (s *Server) replayTerminal(j *job, rec journal.Record) error {
+	switch rec.State {
+	case StateDone:
+		s.ctr.done++
+	case StateFailed:
+		s.ctr.failed++
+	case StateCanceled:
+		s.ctr.canceled++
+	case StateCheckpointed:
+		s.ctr.checkpointed++
+	default:
+		return fmt.Errorf("service: recovery: job %s unknown terminal state %q", j.id, rec.State)
+	}
+	j.state = rec.State
+	if rec.Error != "" {
+		j.err = errors.New(rec.Error)
+	}
+	j.end = rec.CompletionSec
+	j.checkpointed = rec.Parts
+	j.selections = rec.Selections
+	j.auditLineage = rec.AuditLineage
+	j.auditBooks = rec.AuditBooks
+	if len(rec.Snapshot) > 0 {
+		snap := &obs.Snapshot{}
+		if err := json.Unmarshal(rec.Snapshot, snap); err != nil {
+			return fmt.Errorf("service: recovery: job %s snapshot: %w", j.id, err)
+		}
+		j.snapshot = snap
+	}
+	s.ctr.retried += int64(rec.Retries)
+	s.tenantLocked(j.tenant).retried += int64(rec.Retries)
+	s.ctr.shed += int64(rec.Sheds)
+	if rec.DeadlineExceeded {
+		s.ctr.deadlineExceeded++
+	}
+	for i := 0; i < rec.Strikes; i++ {
+		s.strikeLocked(j.tenant)
+	}
+	s.quotas.Release(j.tenant, j.reserve)
+	s.tenantRetireLocked(j)
+	s.watchLifecycleLocked(j, rec.CompletionSec.Seconds())
+	s.completionLocked()
+	s.rctr.terminalReplayed++
+	return nil
+}
+
+// takeRecoveredLocked consumes the oldest recovered job matching the
+// (tenant, spec content hash) dedup key, or nil when the submission is
+// genuinely new. FIFO consumption keeps repeated identical submissions
+// mapped to recovered jobs in their original admission order.
+func (s *Server) takeRecoveredLocked(tenant, specHash string) *job {
+	key := tenant + "\x1f" + specHash
+	ids := s.recovered[key]
+	if len(ids) == 0 {
+		return nil
+	}
+	if len(ids) == 1 {
+		delete(s.recovered, key)
+	} else {
+		s.recovered[key] = ids[1:]
+	}
+	s.rctr.dedupHits++
+	return s.jobs[ids[0]]
+}
+
+// journalLocked appends one lifecycle record. Journal failures fail open:
+// the error is counted, the journal is closed, and the service keeps
+// running memory-only — degraded durability must never take down
+// admission.
+func (s *Server) journalLocked(rec journal.Record) {
+	if s.jnl == nil {
+		return
+	}
+	if _, err := s.jnl.Append(rec); err != nil {
+		s.rctr.appendErrors++
+		_ = s.jnl.Close() //lint:allow droppederr -- already failing open; nothing to do with a close error
+		s.jnl = nil
+	}
+}
+
+// journalTerminalLocked writes a job's terminal record: the full outcome,
+// the counter deltas it contributed, and its metrics snapshot, so replay
+// restores the job without re-running anything.
+func (s *Server) journalTerminalLocked(j *job) {
+	if s.jnl == nil {
+		return
+	}
+	rec := journal.Record{
+		Kind: journal.KindTerminal, Job: j.id, Tenant: j.tenant,
+		TSec:             j.end,
+		State:            j.state,
+		CompletionSec:    j.end,
+		Parts:            j.checkpointed,
+		Retries:          j.retries,
+		Sheds:            j.sheds,
+		Strikes:          j.strikes,
+		DeadlineExceeded: j.deadlineHit,
+		Selections:       j.selections,
+		AuditLineage:     j.auditLineage,
+		AuditBooks:       j.auditBooks,
+	}
+	if j.err != nil {
+		rec.Error = j.err.Error()
+	}
+	if j.snapshot != nil {
+		if b, err := json.Marshal(j.snapshot); err == nil {
+			rec.Snapshot = b
+		}
+	}
+	s.journalLocked(rec)
+}

@@ -20,10 +20,12 @@ import (
 	"fmt"
 	"sync"
 
+	"metadataflow/internal/ckptstore"
 	"metadataflow/internal/cluster"
 	"metadataflow/internal/engine"
 	"metadataflow/internal/faults"
 	"metadataflow/internal/graph"
+	"metadataflow/internal/journal"
 	"metadataflow/internal/memorymgr"
 	"metadataflow/internal/obs"
 	"metadataflow/internal/plan"
@@ -76,6 +78,19 @@ type Config struct {
 	// config's cluster shape and tenant quota — and findings reject the
 	// submission with a *VetError (HTTP 400) before any quota is reserved.
 	DisableVet bool
+	// StateDir, when non-empty, makes the service crash-consistent: a
+	// write-ahead journal of job lifecycle records under StateDir/journal
+	// and a content-addressed durable checkpoint store under
+	// StateDir/ckpt. Open replays the journal on boot — re-reserving
+	// tenant quotas, restoring terminal jobs verbatim, and re-admitting
+	// incomplete jobs idempotently (recovery.go). New ignores this field;
+	// use Open.
+	StateDir string
+	// JournalNoSync skips the fsync after each journal append. The
+	// crash-restart harness sets it because its crashes are materialised
+	// from replayed records, not real process kills; production keeps the
+	// default (sync every record).
+	JournalNoSync bool
 	// BaseContext is the root from which per-job contexts are derived;
 	// nil defaults to context.Background(). Job lifetimes are deliberately
 	// NOT parented on the process signal context: drain grants each active
@@ -224,6 +239,20 @@ type job struct {
 	backoff  float64 // accumulated virtual retry backoff, seconds
 	err      error
 
+	// Durability state, populated only on servers with a StateDir.
+	// chains maps compiled-operator IDs to spec chain-prefix hashes (the
+	// checkpoint-store keys); specHash is the spec's content hash, the
+	// restart dedup key. retries, sheds, strikes and deadlineHit
+	// accumulate the per-job counter deltas the terminal journal record
+	// carries, so a replayed terminal job reconstructs the service
+	// counters exactly.
+	chains      []spec.Hash
+	specHash    string
+	retries     int
+	sheds       int
+	strikes     int
+	deadlineHit bool
+
 	// Running state, owned by the step loop. rec is the job's private
 	// telemetry recorder, installed as the run's probe on every attempt.
 	run        *engine.Run
@@ -319,10 +348,22 @@ type Server struct {
 	watch    []WatchEvent
 	watchSeq int
 	eventSeq int64
+
+	// Durability: jnl is the write-ahead lifecycle journal and ckpts the
+	// content-addressed checkpoint store, both nil on memory-only
+	// servers. recovered maps tenant+specHash to the FIFO of recovered
+	// job IDs that Submit dedups against after a restart; rctr counts
+	// recovery events for /metrics (recovery.go).
+	jnl       *journal.Journal
+	ckpts     *ckptstore.Store
+	recovered map[string][]string
+	rctr      recoveryCounters
 }
 
-// New starts a server and its step loop.
+// New starts a memory-only server and its step loop. Config.StateDir is
+// ignored; crash-consistent servers are built with Open.
 func New(cfg Config) *Server {
+	cfg.StateDir = ""
 	s := newServer(cfg)
 	go s.loop()
 	return s
@@ -342,6 +383,7 @@ func newServer(cfg Config) *Server {
 		quarantined: make(map[string]int),
 		rec:         obs.NewRecorder(),
 		tctr:        make(map[string]*tenantCounters),
+		recovered:   make(map[string][]string),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	// Quota accounting shares the service recorder, so /series carries
@@ -392,12 +434,27 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 			return JobStatus{}, &RequestError{Err: err}
 		}
 	}
+	// The spec content hash is the durability identity: the journal dedup
+	// key and, through OpChains, the checkpoint-store key space. Memory-only
+	// servers skip the hash entirely.
+	var hr *spec.HashReport
+	if s.cfg.StateDir != "" {
+		hr = sp.HashReport()
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining || s.stopped {
 		s.ctr.drainRejected++
 		return JobStatus{}, ErrDraining
+	}
+	if hr != nil {
+		// Idempotent re-admission after a restart: a submission matching a
+		// journal-recovered job (same tenant, same spec content) is the
+		// same job, not a new one — return its current status.
+		if j := s.takeRecoveredLocked(req.Tenant, hr.Spec.String()); j != nil {
+			return s.statusLocked(j), nil
+		}
 	}
 	if fplan != nil {
 		if err := fplan.ValidateFor(s.cfg.Workers); err != nil {
@@ -435,6 +492,10 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 		reserve:  reserve,
 		state:    StateQueued,
 	}
+	if hr != nil {
+		j.chains = hr.OpChains
+		j.specHash = hr.Spec.String()
+	}
 	if !s.queue.Push(j.id, j.tenant, j.priority) {
 		s.quotas.Release(j.tenant, reserve)
 		s.ctr.shed++
@@ -448,6 +509,15 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	s.tenantLocked(j.tenant).submitted++
 	s.eventLocked("submitted", j.tenant)
 	s.watchLifecycleLocked(j, 0)
+	// The admitted record carries everything needed to re-admit the job
+	// verbatim on restart: the raw spec and fault-plan bytes, the quota
+	// reservation, and the dedup hash.
+	s.journalLocked(journal.Record{
+		Kind: journal.KindAdmitted, Job: j.id, Tenant: j.tenant,
+		Priority: j.priority, DeadlineSec: j.deadline,
+		ReserveBytes: j.reserve, SpecHash: j.specHash,
+		Spec: req.Spec, Faults: req.Faults,
+	})
 	s.cond.Broadcast()
 	return s.statusLocked(j), nil
 }
@@ -535,7 +605,8 @@ func (s *Server) Drain() *obs.Snapshot {
 	return s.metricsLocked()
 }
 
-// Close drains the server, stops the step loop and joins it.
+// Close drains the server, stops the step loop, joins it, and releases
+// the durable state handles.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.draining = true
@@ -547,6 +618,16 @@ func (s *Server) Close() {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jnl != nil {
+		_ = s.jnl.Close() //lint:allow droppederr -- best-effort teardown on shutdown
+		s.jnl = nil
+	}
+	if s.ckpts != nil {
+		_ = s.ckpts.Close() //lint:allow droppederr -- best-effort teardown on shutdown
+		s.ckpts = nil
+	}
 }
 
 func (s *Server) hasWorkLocked() bool {
@@ -642,6 +723,12 @@ func (s *Server) startLocked(j *job) error {
 		Faults:  j.fplan,
 		Context: ctx,
 		Probe:   rec,
+		// Durable servers mirror every checkpoint into the shared store,
+		// keyed by spec chain hashes, so restarts and same-spec jobs
+		// resume from verified on-disk copies.
+		Checkpoint: s.ckpts != nil,
+		Ckpts:      s.ckpts,
+		CkptChains: j.chains,
 	}, 0)
 	if err != nil {
 		cancel(nil)
@@ -658,6 +745,10 @@ func (s *Server) startLocked(j *job) error {
 	j.admitSeq = s.admitSeq
 	s.active = append(s.active, j)
 	s.watchLifecycleLocked(j, run.Now().Seconds())
+	s.journalLocked(journal.Record{
+		Kind: journal.KindStarted, Job: j.id, Tenant: j.tenant,
+		Attempt: j.attempts, TSec: run.Now(),
+	})
 	return nil
 }
 
@@ -712,17 +803,23 @@ func (s *Server) finalizeRunLocked(j *job) {
 		s.ctr.done++
 	case errors.Is(err, errDrainCancel):
 		j.checkpointed = j.run.CheckpointLive()
+		s.journalLocked(journal.Record{
+			Kind: journal.KindCheckpointed, Job: j.id, Tenant: j.tenant,
+			Parts: j.checkpointed, TSec: j.run.Now(),
+		})
 		s.retireLocked(j, StateCheckpointed, err)
 		s.ctr.checkpointed++
 	case errors.Is(err, errClientCancel):
 		s.retireLocked(j, StateCanceled, err)
 		s.ctr.canceled++
 	case errors.Is(err, errDeadline):
+		j.deadlineHit = true
 		s.retireLocked(j, StateFailed, err)
 		s.ctr.deadlineExceeded++
 		s.ctr.failed++
 	case engine.IsPanic(err):
 		s.strikeLocked(j.tenant)
+		j.strikes++
 		if j.attempts < s.cfg.Retry.MaxAttempts && !s.draining {
 			// Transient failure with attempts left: requeue with the
 			// policy's exponential backoff charged in virtual seconds.
@@ -732,13 +829,19 @@ func (s *Server) finalizeRunLocked(j *job) {
 			if s.queue.Push(j.id, j.tenant, j.priority) {
 				j.state = StateQueued
 				j.err = nil
+				j.retries++
 				s.ctr.retried++
 				s.tenantLocked(j.tenant).retried++
 				s.eventLocked("retried", j.tenant)
 				s.watchLifecycleLocked(j, 0)
+				s.journalLocked(journal.Record{
+					Kind: journal.KindRetried, Job: j.id, Tenant: j.tenant,
+					Attempt: j.attempts, BackoffSec: sim.VTime(j.backoff),
+				})
 				return
 			}
 			// No room to retry: shed the retry, fail the job.
+			j.sheds++
 			s.retireLocked(j, StateFailed, fmt.Errorf("%w (retry shed: %v)", ErrQueueFull, err))
 			s.ctr.shed++
 			s.ctr.failed++
@@ -769,6 +872,7 @@ func (s *Server) retireLocked(j *job, state string, err error) {
 	s.tenantRetireLocked(j)
 	s.watchLifecycleLocked(j, j.end.Seconds())
 	s.watchBucketsLocked(j)
+	s.journalTerminalLocked(j)
 	s.completionLocked()
 }
 
@@ -785,6 +889,7 @@ func (s *Server) finalizeQueuedLocked(j *job, state string, err error) {
 	s.quotas.Release(j.tenant, j.reserve)
 	s.tenantRetireLocked(j)
 	s.watchLifecycleLocked(j, 0)
+	s.journalTerminalLocked(j)
 	s.completionLocked()
 }
 

@@ -12,7 +12,7 @@ import (
 // byte-identical, on the sample spec and on a minimal one.
 func TestCanonicalizeFixpoint(t *testing.T) {
 	for name, doc := range map[string]string{
-		"sample":  sampleSpec,
+		"sample":  SampleSpec,
 		"minimal": `{"source":{"rows":5},"pipeline":[{"op":{"name":"x"}}]}`,
 		"iterate": `{"source":{"rows":5},"pipeline":[{"iterate":{"name":"i","rounds":3,"op":{"fn":"square","name":"sq"}}}]}`,
 	} {

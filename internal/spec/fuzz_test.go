@@ -8,7 +8,7 @@ import (
 // FuzzParse ensures the parser never panics on arbitrary input and that any
 // document it accepts also compiles to a valid graph.
 func FuzzParse(f *testing.F) {
-	f.Add([]byte(sampleSpec))
+	f.Add([]byte(SampleSpec))
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"source":{"rows":5},"pipeline":[{"op":{"name":"x"}}]}`))
 	f.Add([]byte(`{"source":{"rows":5},"pipeline":[{"explore":{"name":"e",
@@ -38,7 +38,7 @@ func FuzzParse(f *testing.F) {
 // unchanged — otherwise canonical files and hash-keyed memo tables would
 // disagree about spec identity.
 func FuzzCanonical(f *testing.F) {
-	f.Add([]byte(sampleSpec))
+	f.Add([]byte(SampleSpec))
 	f.Add([]byte(`{"source":{"rows":5},"pipeline":[{"op":{"name":"x"}}]}`))
 	f.Add([]byte(`{"source":{"file":"/tmp/x","distribution":"uniform","seed":9},"pipeline":[{"op":{"name":"x","a":4,"paramKey":"zz"}}]}`))
 	f.Add([]byte(`{"schema_version":"1.2.3","source":{"rows":7,"partitions":2},"pipeline":[

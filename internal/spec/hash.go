@@ -3,8 +3,6 @@ package spec
 import (
 	"encoding/json"
 	"fmt"
-	"hash"
-	"hash/fnv"
 	"math"
 	"strconv"
 )
@@ -92,6 +90,15 @@ type HashReport struct {
 	// Branches lists every explore branch's resolved sub-graph hash, in
 	// document order.
 	Branches []BranchHash `json:"branches"`
+	// OpChains holds one chain-prefix hash per compiled operator, in the
+	// builder's operator-creation order (source, then per step: the op
+	// itself; each iterate round; an explore, its branch bodies in branch
+	// order, then its choose). OpChains[i] is the semantic identity of
+	// operator i's output dataset, which is what the durable checkpoint
+	// store (internal/ckptstore) keys on. Excluded from the serialized
+	// report: it is an engine-side index, not part of the canonical hash
+	// surface.
+	OpChains []Hash `json:"-"`
 }
 
 // Hash returns the spec's whole-graph semantic content hash.
@@ -106,39 +113,65 @@ func (s *Spec) HashReport() *HashReport {
 	r := &HashReport{}
 	w := newHasher(0)
 	hashSource(w, n.Source)
-	r.Chains = append(r.Chains, ChainHash{Path: "source", Hash: w.sum()})
+	src := w.sum()
+	r.Chains = append(r.Chains, ChainHash{Path: "source", Hash: src})
+	r.OpChains = append(r.OpChains, src)
 	hashSteps(w, n.Pipeline, nil, "pipeline", r)
 	r.Spec = w.sum()
 	return r
+}
+
+// fnv64 is an inline FNV-1a state. Unlike hash/fnv's hash.Hash64 it is a
+// plain value, so a hasher can be snapshotted mid-stream — hashSteps
+// forks per-iterate-round chain hashes off the pre-step state. Sums are
+// bit-identical to fnv.New64a over the same bytes.
+type fnv64 uint64
+
+const (
+	fnvOffset64 fnv64 = 14695981039346656037
+	fnvPrime64  fnv64 = 1099511628211
+)
+
+func (h *fnv64) write(b []byte) {
+	x := *h
+	for _, c := range b {
+		x ^= fnv64(c)
+		x *= fnvPrime64
+	}
+	*h = x
 }
 
 // hasher streams tagged fields into FNV-1a. A non-zero seed folds a parent
 // chain prefix in first, so sub-graph hashes compose with their context.
 type hasher struct {
 	buf   [8]byte
-	sum64 hash.Hash64
+	sum64 fnv64
 }
 
 func newHasher(seed Hash) *hasher {
-	w := &hasher{sum64: fnv.New64a()}
+	w := &hasher{sum64: fnvOffset64}
 	if seed != 0 {
 		w.u64(uint64(seed))
 	}
 	return w
 }
 
-func (w *hasher) sum() Hash { return Hash(w.sum64.Sum64()) }
+// clone snapshots the stream state, so a fork can fold divergent suffixes
+// without disturbing the trunk.
+func (w *hasher) clone() *hasher { return &hasher{sum64: w.sum64} }
+
+func (w *hasher) sum() Hash { return Hash(w.sum64) }
 
 func (w *hasher) u64(v uint64) {
 	for i := 0; i < 8; i++ {
 		w.buf[i] = byte(v >> (56 - 8*i))
 	}
-	w.sum64.Write(w.buf[:]) // fnv's Write cannot fail
+	w.sum64.write(w.buf[:])
 }
 
 func (w *hasher) str(s string) {
 	w.u64(uint64(len(s)))
-	w.sum64.Write([]byte(s)) // fnv's Write cannot fail
+	w.sum64.write([]byte(s))
 }
 
 func (w *hasher) f64(v float64)  { w.u64(math.Float64bits(v)) }
@@ -169,8 +202,22 @@ func hashSteps(w *hasher, steps []Step, params map[string]float64, path string, 
 		switch {
 		case st.Op != nil:
 			hashOp(w, *st.Op, params)
+			r.OpChains = append(r.OpChains, w.sum())
 		case st.Iterate != nil:
 			it := st.Iterate
+			// The builder unrolls an iterate into Rounds operators; round
+			// k's output is identified by the chain through k+1 rounds.
+			// Forking from the pre-step state keeps the final round's
+			// chain equal to the step's recorded chain hash below, so an
+			// iterate's last checkpoint and its step-level identity agree.
+			for k := 0; k < it.Rounds; k++ {
+				rw := w.clone()
+				rw.str("iterate")
+				rw.i64(int64(k + 1))
+				rw.f64(it.DivergeAboveMeanAbs)
+				hashOp(rw, it.Op, params)
+				r.OpChains = append(r.OpChains, rw.sum())
+			}
 			w.str("iterate")
 			w.i64(int64(it.Rounds))
 			w.f64(it.DivergeAboveMeanAbs)
@@ -178,6 +225,9 @@ func hashSteps(w *hasher, steps []Step, params map[string]float64, path string, 
 		case st.Explore != nil:
 			e := st.Explore
 			prefix := w.sum()
+			// The explore operator forwards its input, so its output
+			// carries the incoming chain's identity.
+			r.OpChains = append(r.OpChains, prefix)
 			w.str("explore")
 			w.i64(int64(len(e.Branches)))
 			explorePath := stepPath + ".explore"
@@ -194,6 +244,8 @@ func hashSteps(w *hasher, steps []Step, params map[string]float64, path string, 
 				}
 			}
 			hashChoose(w, e.Choose)
+			// The choose operator's output is the step's result.
+			r.OpChains = append(r.OpChains, w.sum())
 		}
 		r.Chains = append(r.Chains, ChainHash{Path: stepPath, Hash: w.sum()})
 	}

@@ -163,3 +163,67 @@ func TestHashPinned(t *testing.T) {
 		t.Errorf("pinned hash moved: got %s, want %s", got, want)
 	}
 }
+
+// TestOpChainsAlignWithCompile pins the OpChains contract: one chain
+// hash per compiled operator, in the builder's operator-creation order,
+// with trunk positions equal to the recorded step chain hashes. This is
+// the index the durable checkpoint store keys on, so drift here silently
+// re-keys every checkpoint.
+func TestOpChainsAlignWithCompile(t *testing.T) {
+	s, err := Parse([]byte(baseDoc))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	r := s.HashReport()
+	g, err := s.Compile()
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	ops := g.Ops()
+	if len(r.OpChains) != len(ops) {
+		t.Fatalf("OpChains has %d entries, compiled graph has %d operators", len(r.OpChains), len(ops))
+	}
+	chainAt := func(path string) Hash {
+		t.Helper()
+		for _, c := range r.Chains {
+			if c.Path == path {
+				return c.Hash
+			}
+		}
+		t.Fatalf("no chain recorded at %s", path)
+		return 0
+	}
+	// Creation order: source, trunk op, explore, branch0 body, branch1
+	// body, choose, iterate rounds 0..2.
+	if r.OpChains[0] != chainAt("source") {
+		t.Fatalf("OpChains[0] = %v, want source chain %v", r.OpChains[0], chainAt("source"))
+	}
+	if r.OpChains[1] != chainAt("pipeline[0]") {
+		t.Fatalf("OpChains[1] = %v, want trunk op chain", r.OpChains[1])
+	}
+	// The explore operator forwards its input.
+	if r.OpChains[2] != chainAt("pipeline[0]") {
+		t.Fatalf("explore OpChain = %v, want incoming prefix", r.OpChains[2])
+	}
+	if r.OpChains[3] != chainAt("pipeline[1].explore.branch[0].body[0]") {
+		t.Fatalf("branch0 body OpChain = %v, want its recorded chain", r.OpChains[3])
+	}
+	if r.OpChains[4] != chainAt("pipeline[1].explore.branch[1].body[0]") {
+		t.Fatalf("branch1 body OpChain = %v, want its recorded chain", r.OpChains[4])
+	}
+	if r.OpChains[5] != chainAt("pipeline[1]") {
+		t.Fatalf("choose OpChain = %v, want explore step chain", r.OpChains[5])
+	}
+	// The final iterate round's chain is the step's identity; earlier
+	// rounds get distinct forked chains.
+	if r.OpChains[8] != chainAt("pipeline[2]") {
+		t.Fatalf("last iterate round OpChain = %v, want step chain", r.OpChains[8])
+	}
+	if r.OpChains[6] == r.OpChains[7] || r.OpChains[7] == r.OpChains[8] {
+		t.Fatalf("iterate rounds share chains: %v %v %v", r.OpChains[6], r.OpChains[7], r.OpChains[8])
+	}
+	// Parameterised branches must resolve to distinct body chains.
+	if r.OpChains[3] == r.OpChains[4] {
+		t.Fatal("parameterised branch bodies hash identically")
+	}
+}

@@ -1,4 +1,4 @@
-package spec
+package spec_test
 
 import (
 	"fmt"
@@ -11,32 +11,11 @@ import (
 	"metadataflow/internal/engine"
 	"metadataflow/internal/memorymgr"
 	"metadataflow/internal/scheduler"
+	"metadataflow/internal/spec"
 )
 
-const sampleSpec = `{
-  "name": "demo",
-  "source": {"rows": 2000, "partitions": 4, "virtualBytes": 268435456, "distribution": "normal", "seed": 3},
-  "pipeline": [
-    {"op": {"name": "standardize", "fn": "standardize", "costPerMB": 0.003}},
-    {"explore": {
-      "name": "outlier",
-      "branches": [
-        {"label": "k=3.0", "hint": 3.0, "params": {"limit": 3.0}},
-        {"label": "k=2.0", "hint": 2.0, "params": {"limit": 2.0}},
-        {"label": "k=1.0", "hint": 1.0, "params": {"limit": 1.0}}
-      ],
-      "body": [
-        {"op": {"name": "filter", "fn": "filter-absless", "paramKey": "limit", "costPerMB": 0.002}}
-      ],
-      "choose": {"evaluator": "ratio", "monotone": true,
-                 "selector": {"kind": "kthreshold", "k": 1, "bound": 0.9}}
-    }},
-    {"op": {"name": "sink", "fn": "identity"}}
-  ]
-}`
-
 func TestParseAndCompile(t *testing.T) {
-	s, err := Parse([]byte(sampleSpec))
+	s, err := spec.Parse([]byte(spec.SampleSpec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +35,7 @@ func TestParseAndCompile(t *testing.T) {
 }
 
 func TestCompiledSpecExecutes(t *testing.T) {
-	s, err := Parse([]byte(sampleSpec))
+	s, err := spec.Parse([]byte(spec.SampleSpec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +65,7 @@ func TestCompiledSpecExecutes(t *testing.T) {
 }
 
 func TestCompiledSpecExpands(t *testing.T) {
-	s, err := Parse([]byte(sampleSpec))
+	s, err := spec.Parse([]byte(spec.SampleSpec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +104,7 @@ func TestNestedExploreSpec(t *testing.T) {
 	    {"op": {"name": "sink", "fn": "identity"}}
 	  ]
 	}`
-	s, err := Parse([]byte(nested))
+	s, err := spec.Parse([]byte(nested))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +142,7 @@ func TestParseRejectsMalformed(t *testing.T) {
 		"bad op fn":       `{"source": {"rows": 10}, "pipeline": [{"op": {"name": "x", "fn": "teleport"}}]}`,
 	}
 	for name, doc := range cases {
-		if _, err := Parse([]byte(doc)); err == nil {
+		if _, err := spec.Parse([]byte(doc)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
 	}
@@ -177,7 +156,7 @@ func TestAllOpFns(t *testing.T) {
 	} {
 		doc := `{"source": {"rows": 100, "partitions": 2},
 		         "pipeline": [{"op": {"name": "x", "fn": "` + fn + `", "a": 1, "limit": 1}}]}`
-		s, err := Parse([]byte(doc))
+		s, err := spec.Parse([]byte(doc))
 		if err != nil {
 			t.Errorf("%s: %v", fn, err)
 			continue
@@ -214,7 +193,7 @@ func TestAllSelectors(t *testing.T) {
 		      "choose": {"evaluator": "size", "selector": ` + sel + `}}},
 		    {"op": {"name": "sink", "fn": "identity"}}
 		  ]}`
-		s, err := Parse([]byte(doc))
+		s, err := spec.Parse([]byte(doc))
 		if err != nil {
 			t.Errorf("%s: %v", sel, err)
 			continue
@@ -249,7 +228,7 @@ func TestIterateStepSpec(t *testing.T) {
 	    {"op": {"name": "sink", "fn": "identity"}}
 	  ]
 	}`
-	s, err := Parse([]byte(doc))
+	s, err := spec.Parse([]byte(doc))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,12 +255,12 @@ func TestIterateStepSpec(t *testing.T) {
 func TestIterateStepValidation(t *testing.T) {
 	bad := `{"source": {"rows": 10}, "pipeline": [
 	  {"iterate": {"name": "x", "rounds": 0, "op": {"name": "y"}}}]}`
-	if _, err := Parse([]byte(bad)); err == nil {
+	if _, err := spec.Parse([]byte(bad)); err == nil {
 		t.Error("zero rounds accepted")
 	}
 	both := `{"source": {"rows": 10}, "pipeline": [
 	  {"op": {"name": "a"}, "iterate": {"name": "x", "rounds": 1, "op": {"name": "y"}}}]}`
-	if _, err := Parse([]byte(both)); err == nil {
+	if _, err := spec.Parse([]byte(both)); err == nil {
 		t.Error("op+iterate in one step accepted")
 	}
 }
@@ -294,7 +273,7 @@ func TestFileSource(t *testing.T) {
 	}
 	doc := `{"source": {"file": ` + fmt.Sprintf("%q", path) + `, "partitions": 2},
 	  "pipeline": [{"op": {"name": "keep", "fn": "filter-greater", "limit": 2.0}}]}`
-	s, err := Parse([]byte(doc))
+	s, err := spec.Parse([]byte(doc))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +301,7 @@ func TestFileSourceCapAndErrors(t *testing.T) {
 	os.WriteFile(path, []byte("1\n2\n3\n4\n5\n"), 0o644)
 	doc := `{"source": {"file": ` + fmt.Sprintf("%q", path) + `, "rows": 2},
 	  "pipeline": [{"op": {"name": "id"}}]}`
-	s, err := Parse([]byte(doc))
+	s, err := spec.Parse([]byte(doc))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +323,7 @@ func TestFileSourceCapAndErrors(t *testing.T) {
 	// Missing file and malformed values fail at execution time.
 	for _, body := range []string{"not-a-number\n", ""} {
 		os.WriteFile(path, []byte(body), 0o644)
-		s, err := Parse([]byte(doc))
+		s, err := spec.Parse([]byte(doc))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -379,12 +358,12 @@ func TestParseRejectsUnknownFields(t *testing.T) {
 		"trailing document": `{"source": {"rows": 10}, "pipeline": [{"op": {"name": "x"}}]} {"extra": 1}`,
 	}
 	for name, doc := range cases {
-		if _, err := Parse([]byte(doc)); err == nil {
+		if _, err := spec.Parse([]byte(doc)); err == nil {
 			t.Errorf("%s: Parse accepted a document with an unknown field", name)
 		}
 	}
 	// The same documents without the typos still parse.
-	if _, err := Parse([]byte(`{"source": {"rows": 10, "partitions": 4}, "pipeline": [{"op": {"name": "x", "costPerMB": 1}}]}`)); err != nil {
+	if _, err := spec.Parse([]byte(`{"source": {"rows": 10, "partitions": 4}, "pipeline": [{"op": {"name": "x", "costPerMB": 1}}]}`)); err != nil {
 		t.Fatalf("valid document rejected: %v", err)
 	}
 }
@@ -420,7 +399,7 @@ func TestParseErrorPositions(t *testing.T) {
 		},
 	}
 	for name, tc := range cases {
-		_, err := Parse([]byte(tc.doc))
+		_, err := spec.Parse([]byte(tc.doc))
 		if err == nil {
 			t.Errorf("%s: Parse accepted a malformed document", name)
 			continue
